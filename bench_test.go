@@ -1,0 +1,86 @@
+package churnnet_test
+
+// One benchmark per table/figure of the reproduction suite (see the
+// experiment index in DESIGN.md). Each runs the corresponding experiment at
+// smoke scale, so `go test -bench=.` regenerates a miniature of every
+// result; cmd/tablegen produces the full-scale versions recorded in
+// EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	churnnet "github.com/dyngraph/churnnet"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tab, err := churnnet.RunExperiment(id, churnnet.ScaleSmoke, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkTable1ResultGrid(b *testing.B)              { benchExperiment(b, "T1") }
+func BenchmarkF1IsolatedStreaming(b *testing.B)           { benchExperiment(b, "F1") }
+func BenchmarkF2IsolatedPoisson(b *testing.B)             { benchExperiment(b, "F2") }
+func BenchmarkF3LargeSetExpansionStreaming(b *testing.B)  { benchExperiment(b, "F3") }
+func BenchmarkF4LargeSetExpansionPoisson(b *testing.B)    { benchExperiment(b, "F4") }
+func BenchmarkF5FloodingFailureNoRegen(b *testing.B)      { benchExperiment(b, "F5") }
+func BenchmarkF6FloodingMostStreaming(b *testing.B)       { benchExperiment(b, "F6") }
+func BenchmarkF7FloodingMostPoisson(b *testing.B)         { benchExperiment(b, "F7") }
+func BenchmarkF8ExpansionStreamingRegen(b *testing.B)     { benchExperiment(b, "F8") }
+func BenchmarkF9ExpansionPoissonRegen(b *testing.B)       { benchExperiment(b, "F9") }
+func BenchmarkF10FloodingTimeStreamingRegen(b *testing.B) { benchExperiment(b, "F10") }
+func BenchmarkF11FloodingTimePoissonRegen(b *testing.B)   { benchExperiment(b, "F11") }
+func BenchmarkF12DegreeStats(b *testing.B)                { benchExperiment(b, "F12") }
+func BenchmarkF13EdgeAgeBias(b *testing.B)                { benchExperiment(b, "F13") }
+func BenchmarkF14PoissonPopulation(b *testing.B)          { benchExperiment(b, "F14") }
+func BenchmarkF15JumpChain(b *testing.B)                  { benchExperiment(b, "F15") }
+func BenchmarkF16MaxAge(b *testing.B)                     { benchExperiment(b, "F16") }
+func BenchmarkF17OnionSkin(b *testing.B)                  { benchExperiment(b, "F17") }
+func BenchmarkF18StaticBaseline(b *testing.B)             { benchExperiment(b, "F18") }
+func BenchmarkF19RegenAblation(b *testing.B)              { benchExperiment(b, "F19") }
+func BenchmarkF20Demographics(b *testing.B)               { benchExperiment(b, "F20") }
+func BenchmarkF21OverlayRealism(b *testing.B)             { benchExperiment(b, "F21") }
+func BenchmarkF22BoundedDegree(b *testing.B)              { benchExperiment(b, "F22") }
+func BenchmarkF23GiantComponent(b *testing.B)             { benchExperiment(b, "F23") }
+func BenchmarkF24OverlayAblation(b *testing.B)            { benchExperiment(b, "F24") }
+
+// Library-level micro-benchmarks: the building blocks downstream users pay
+// for most often.
+
+func BenchmarkModelWarmUpSDGR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		churnnet.NewWarmModel(churnnet.SDGR, 5000, 21, uint64(i))
+	}
+}
+
+func BenchmarkModelWarmUpPDGR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		churnnet.NewWarmModel(churnnet.PDGR, 5000, 35, uint64(i))
+	}
+}
+
+func BenchmarkFloodCompletePDGR(b *testing.B) {
+	m := churnnet.NewWarmModel(churnnet.PDGR, 5000, 35, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := churnnet.Flood(m, churnnet.FloodOptions{})
+		if !res.Completed {
+			b.Fatal("flooding did not complete")
+		}
+	}
+}
+
+func BenchmarkExpansionEstimate(b *testing.B) {
+	m := churnnet.NewWarmModel(churnnet.SDGR, 2000, 14, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		churnnet.EstimateExpansion(m.Graph(), uint64(i), churnnet.ExpansionConfig{})
+	}
+}

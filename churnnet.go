@@ -1,0 +1,321 @@
+// Package churnnet is a library of dynamic random networks with node churn,
+// reproducing “Expansion and Flooding in Dynamic Random Networks with Node
+// Churn” (Becchetti, Clementi, Pasquale, Trevisan, Ziccardi; ICDCS 2021,
+// arXiv:2007.14681).
+//
+// It provides:
+//
+//   - the paper's four network models — streaming or Poisson node churn,
+//     each with or without edge regeneration (SDG, SDGR, PDG, PDGR);
+//   - the flooding processes of Definitions 3.3, 4.2 and 4.3;
+//   - vertex-expansion measurement (exact for small graphs, witness search
+//     at scale);
+//   - structural analysis (isolated nodes, degrees, age demographics);
+//   - the onion-skin cascades used by the paper's proofs; and
+//   - the full experiment suite regenerating every table and quantitative
+//     claim of the paper (see EXPERIMENTS.md).
+//
+// Quickstart:
+//
+//	m := churnnet.NewWarmModel(churnnet.PDGR, 10_000, 35, 1)
+//	res := churnnet.Flood(m, churnnet.FloodOptions{})
+//	fmt.Printf("completed=%v in %d rounds\n", res.Completed, res.CompletionRound)
+//
+// All randomness flows from explicit seeds; identical seeds reproduce runs
+// bit for bit.
+package churnnet
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/dyngraph/churnnet/internal/analysis"
+	"github.com/dyngraph/churnnet/internal/core"
+	"github.com/dyngraph/churnnet/internal/expansion"
+	"github.com/dyngraph/churnnet/internal/experiments"
+	"github.com/dyngraph/churnnet/internal/flood"
+	"github.com/dyngraph/churnnet/internal/graph"
+	"github.com/dyngraph/churnnet/internal/graphio"
+	"github.com/dyngraph/churnnet/internal/onion"
+	"github.com/dyngraph/churnnet/internal/overlay"
+	"github.com/dyngraph/churnnet/internal/report"
+	"github.com/dyngraph/churnnet/internal/rng"
+	"github.com/dyngraph/churnnet/internal/staticgraph"
+	"github.com/dyngraph/churnnet/internal/trace"
+)
+
+// ModelKind identifies one of the paper's dynamic-graph models.
+type ModelKind = core.Kind
+
+// The four models of the paper plus the churn-free Static baseline wrapper.
+const (
+	// SDG is the streaming model without edge regeneration (Def. 3.4).
+	SDG = core.SDG
+	// SDGR is the streaming model with edge regeneration (Def. 3.13).
+	SDGR = core.SDGR
+	// PDG is the Poisson model without edge regeneration (Def. 4.9).
+	PDG = core.PDG
+	// PDGR is the Poisson model with edge regeneration (Def. 4.14).
+	PDGR = core.PDGR
+	// Static is the kind reported by churn-free baseline models.
+	Static = core.Static
+)
+
+// ModelKinds lists the four dynamic models in the paper's order.
+func ModelKinds() []ModelKind { return core.Kinds() }
+
+// Model is a live dynamic network; see the core package for semantics.
+type Model = core.Model
+
+// Graph is the snapshot structure underlying every model.
+type Graph = graph.Graph
+
+// Handle identifies a node; invalidated when the node dies.
+type Handle = graph.Handle
+
+// Hooks receive birth/death callbacks from a model.
+type Hooks = core.Hooks
+
+// RNG is the deterministic generator used across the library.
+type RNG = rng.RNG
+
+// NewRNG returns a deterministic generator for the seed.
+func NewRNG(seed uint64) *RNG { return rng.New(seed) }
+
+// NewModel builds an empty (un-warmed) model of the given kind with size
+// parameter n and out-degree d, seeded deterministically.
+func NewModel(kind ModelKind, n, d int, seed uint64) Model {
+	return core.New(kind, n, d, rng.New(seed))
+}
+
+// NewWarmModel builds a model and warms it to its measurement-ready state:
+// 2n rounds for streaming models, 7·n·ln n churn events for Poisson models
+// (the paper's horizons).
+func NewWarmModel(kind ModelKind, n, d int, seed uint64) Model {
+	m := NewModel(kind, n, d, seed)
+	core.WarmUp(m)
+	return m
+}
+
+// NewStaticModel wraps a fixed graph as a churn-free Model (the baseline of
+// Lemma B.1 and a harness for custom topologies).
+func NewStaticModel(g *Graph, d int) Model { return core.NewStaticModel(g, d) }
+
+// NewDOutGraph builds the static random graph of Lemma B.1: n nodes, each
+// making d uniform requests.
+func NewDOutGraph(n, d int, seed uint64) (*Graph, []Handle) {
+	return staticgraph.DOut(n, d, rng.New(seed))
+}
+
+// --- flooding ---
+
+// FloodOptions configures a flooding run.
+type FloodOptions = flood.Options
+
+// FloodResult reports a flooding run.
+type FloodResult = flood.Result
+
+// FloodMode selects discretized (Def. 4.3) or asynchronous (Def. 4.2)
+// semantics.
+type FloodMode = flood.Mode
+
+// Flooding modes.
+const (
+	// Discretized requires senders to survive the transmission interval.
+	Discretized = flood.Discretized
+	// Asynchronous admits receivers once the edge existed at the start of
+	// the interval.
+	Asynchronous = flood.Asynchronous
+)
+
+// Flood broadcasts from opts.Source (default: the newest node) over m.
+func Flood(m Model, opts FloodOptions) FloodResult { return flood.Run(m, opts) }
+
+// --- expansion ---
+
+// ExpansionConfig tunes the witness search of EstimateExpansion.
+type ExpansionConfig = expansion.Config
+
+// ExpansionProfile holds the best low-expansion witnesses found per size.
+type ExpansionProfile = expansion.Profile
+
+// ExpansionWitness is one measured candidate set.
+type ExpansionWitness = expansion.Witness
+
+// EstimateExpansion searches g for low-expansion witnesses (upper bounds on
+// the vertex isoperimetric number h_out of Definition 3.1).
+func EstimateExpansion(g *Graph, seed uint64, cfg ExpansionConfig) *ExpansionProfile {
+	return expansion.Estimate(g, rng.New(seed), cfg)
+}
+
+// ExactExpansion computes h_out exactly by exhaustive enumeration; it
+// panics when the graph has more than expansion.ExactLimit (20) nodes.
+func ExactExpansion(g *Graph) (float64, []Handle) { return expansion.Exact(g) }
+
+// BoundarySize returns |∂out(S)| for a node set.
+func BoundarySize(g *Graph, set []Handle) int { return expansion.BoundarySize(g, set) }
+
+// SpectralGap estimates 1 − λ₂ of the lazy random walk on the snapshot: a
+// witness-free expansion proxy (0 for disconnected graphs, constant for
+// expanders) that cross-checks EstimateExpansion. iters <= 0 selects a
+// default.
+func SpectralGap(g *Graph, iters int, seed uint64) float64 {
+	return expansion.SpectralGap(g, iters, rng.New(seed))
+}
+
+// --- analysis ---
+
+// DegreeStats summarizes a snapshot's degree distribution.
+type DegreeStats = analysis.DegreeStats
+
+// Degrees measures the live-degree distribution of a snapshot.
+func Degrees(g *Graph) DegreeStats { return analysis.Degrees(g) }
+
+// IsolatedFraction returns the fraction of alive nodes with no live edge.
+func IsolatedFraction(g *Graph) float64 { return analysis.IsolatedFraction(g) }
+
+// LifetimeIsolationResult reports a LifetimeIsolation measurement.
+type LifetimeIsolationResult = analysis.LifetimeIsolationResult
+
+// LifetimeIsolation counts nodes that stay isolated for their whole
+// remaining lifetime (Lemmas 3.5/4.10); models without regeneration only.
+func LifetimeIsolation(m Model, maxRounds int) LifetimeIsolationResult {
+	return analysis.LifetimeIsolation(m, maxRounds)
+}
+
+// InDegreeByAgeQuantile returns mean live in-degree per age cohort (oldest
+// first) — the observable of the Lemma 3.14/4.15 destination laws.
+func InDegreeByAgeQuantile(g *Graph, buckets int) []float64 {
+	return analysis.InDegreeByAgeQuantile(g, buckets)
+}
+
+// AgeProfile counts alive nodes per age slice (Theorem 4.16's demographic
+// vector).
+func AgeProfile(g *Graph, now, sliceWidth float64) []int {
+	return analysis.AgeProfile(g, now, sliceWidth)
+}
+
+// --- onion-skin cascades ---
+
+// OnionResult reports an onion-skin cascade run.
+type OnionResult = onion.Result
+
+// OnionStreaming runs the Section 3.1.2 cascade for SDG parameters (n, d).
+func OnionStreaming(n, d int, seed uint64) OnionResult {
+	return onion.Streaming(n, d, rng.New(seed))
+}
+
+// OnionExtended runs the Section 7.2.4 cascade for PDG parameters; m <= 0
+// samples the population from [0.9n, 1.1n].
+func OnionExtended(n, d, m int, seed uint64) OnionResult {
+	return onion.Extended(n, d, m, rng.New(seed))
+}
+
+// ComponentStats describes the connected-component structure of a snapshot.
+type ComponentStats = analysis.ComponentStats
+
+// Components computes the connected components of the alive graph.
+func Components(g *Graph) ComponentStats { return analysis.Components(g) }
+
+// --- extensions beyond the paper's core models ---
+
+// DegreePolicy modifies destination draws in Poisson models, exploring the
+// paper's Section 5 open question (bounded-degree dynamics): a hard
+// inbound cap and/or power-of-k least-loaded choices.
+type DegreePolicy = core.DegreePolicy
+
+// NewPoissonVariantModel builds a PDG/PDGR model whose request
+// destinations follow the policy (zero policy = the paper's uniform draw).
+// The model is returned un-warmed.
+func NewPoissonVariantModel(n, d int, regen bool, policy DegreePolicy, seed uint64) Model {
+	return core.NewPoissonVariant(n, d, regen, policy, rng.New(seed))
+}
+
+// OverlayConfig parameterizes the Bitcoin-style address-gossip overlay.
+type OverlayConfig = overlay.Config
+
+// OverlayNetwork is the realistic P2P network of Section 1.1: bounded
+// address books, DNS-seeded bootstrap, ADDR gossip and redial on peer
+// loss. It implements Model, so Flood and the expansion estimators apply.
+type OverlayNetwork = overlay.Overlay
+
+// NewOverlay builds an empty overlay; call its WarmUp (or AdvanceTime) to
+// populate it.
+func NewOverlay(cfg OverlayConfig, seed uint64) *OverlayNetwork {
+	return overlay.New(cfg, rng.New(seed))
+}
+
+// --- tracing ---
+
+// TraceProbe samples one observable from a model.
+type TraceProbe = trace.Probe
+
+// TraceRecorder accumulates per-round samples and renders them as CSV.
+type TraceRecorder = trace.Recorder
+
+// NewTraceRecorder builds a recorder (default probes: time, size, edges,
+// degree statistics, isolated fraction).
+func NewTraceRecorder(probes ...TraceProbe) *TraceRecorder {
+	return trace.NewRecorder(probes...)
+}
+
+// DefaultTraceProbes returns the standard probe set.
+func DefaultTraceProbes() []TraceProbe { return trace.DefaultProbes() }
+
+// --- snapshot serialization ---
+
+// WriteDOT renders the alive graph as an undirected Graphviz graph.
+func WriteDOT(w io.Writer, g *Graph, name string) error { return graphio.WriteDOT(w, g, name) }
+
+// WriteEdgeList emits the snapshot in the plain edge-list format that
+// ReadEdgeList parses back.
+func WriteEdgeList(w io.Writer, g *Graph) error { return graphio.WriteEdgeList(w, g) }
+
+// ReadEdgeList rebuilds a snapshot written by WriteEdgeList as a static
+// graph; handles are returned in birth (ID) order.
+func ReadEdgeList(r io.Reader) (*Graph, []Handle, error) { return graphio.ReadEdgeList(r) }
+
+// --- experiment suite ---
+
+// Scale selects experiment sizes.
+type Scale = experiments.Scale
+
+// Experiment scales.
+const (
+	// ScaleSmoke finishes in well under a second per experiment.
+	ScaleSmoke = experiments.Smoke
+	// ScaleStandard is the tablegen default (minutes for the suite).
+	ScaleStandard = experiments.Standard
+	// ScalePaper uses paper-sized parameters (tens of minutes).
+	ScalePaper = experiments.Paper
+)
+
+// ParseScale converts "smoke", "standard" or "paper".
+func ParseScale(s string) (Scale, error) { return experiments.ParseScale(s) }
+
+// Experiment is one entry of the reproduction suite.
+type Experiment = experiments.Experiment
+
+// ResultTable is a rendered experiment result.
+type ResultTable = report.Table
+
+// ResultReport is the full suite output.
+type ResultReport = report.Report
+
+// Experiments lists the suite in order (T1, F1..F20).
+func Experiments() []Experiment { return experiments.All() }
+
+// RunExperiment executes one experiment by ID.
+func RunExperiment(id string, scale Scale, seed uint64) (*ResultTable, error) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		return nil, fmt.Errorf("churnnet: unknown experiment %q", id)
+	}
+	return e.Run(experiments.Config{Scale: scale, Seed: seed}), nil
+}
+
+// RunAllExperiments executes the whole suite and returns the report whose
+// Markdown form is EXPERIMENTS.md.
+func RunAllExperiments(scale Scale, seed uint64) *ResultReport {
+	return experiments.RunAll(experiments.Config{Scale: scale, Seed: seed})
+}

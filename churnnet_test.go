@@ -1,0 +1,194 @@
+package churnnet_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	churnnet "github.com/dyngraph/churnnet"
+)
+
+// These tests exercise the public facade end to end: they are the
+// library-level integration tests of the whole reproduction.
+
+func TestQuickstartFlow(t *testing.T) {
+	m := churnnet.NewWarmModel(churnnet.SDGR, 500, 21, 1)
+	res := churnnet.Flood(m, churnnet.FloodOptions{})
+	if !res.Completed {
+		t.Fatalf("SDGR flooding did not complete: %+v", res)
+	}
+	if res.CompletionRound <= 0 || res.CompletionRound > 30 {
+		t.Fatalf("completion round %d", res.CompletionRound)
+	}
+}
+
+func TestModelKinds(t *testing.T) {
+	kinds := churnnet.ModelKinds()
+	if len(kinds) != 4 {
+		t.Fatalf("kinds: %v", kinds)
+	}
+	names := map[string]bool{}
+	for _, k := range kinds {
+		names[k.String()] = true
+	}
+	for _, want := range []string{"SDG", "SDGR", "PDG", "PDGR"} {
+		if !names[want] {
+			t.Fatalf("missing kind %s", want)
+		}
+	}
+}
+
+func TestAllKindsBuildAndFlood(t *testing.T) {
+	for _, kind := range churnnet.ModelKinds() {
+		m := churnnet.NewWarmModel(kind, 300, 20, 2)
+		if m.Kind() != kind {
+			t.Fatalf("kind mismatch: %v", m.Kind())
+		}
+		res := churnnet.Flood(m, churnnet.FloodOptions{MaxRounds: 40})
+		if res.EverInformed < 2 {
+			t.Fatalf("%v: flooding went nowhere", kind)
+		}
+	}
+}
+
+func TestStaticBaseline(t *testing.T) {
+	g, hs := churnnet.NewDOutGraph(200, 3, 3)
+	if g.NumAlive() != 200 || len(hs) != 200 {
+		t.Fatal("DOut size")
+	}
+	m := churnnet.NewStaticModel(g, 3)
+	if m.Kind() != churnnet.Static {
+		t.Fatal("static kind")
+	}
+	res := churnnet.Flood(m, churnnet.FloodOptions{Source: hs[0]})
+	if !res.Completed {
+		t.Fatalf("static d-out flooding: %+v", res)
+	}
+}
+
+func TestExpansionFacade(t *testing.T) {
+	g, hs := churnnet.NewDOutGraph(12, 3, 4)
+	exact, witness := churnnet.ExactExpansion(g)
+	if exact <= 0 {
+		t.Fatalf("exact expansion %v (random 3-out graphs are connected whp)", exact)
+	}
+	if len(witness) == 0 {
+		t.Fatal("no witness")
+	}
+	prof := churnnet.EstimateExpansion(g, 5, churnnet.ExpansionConfig{})
+	est, _ := prof.Min()
+	if est < exact-1e-12 {
+		t.Fatalf("estimate %v below exact %v", est, exact)
+	}
+	if b := churnnet.BoundarySize(g, hs[:3]); b < 0 || b > 9 {
+		t.Fatalf("boundary %d", b)
+	}
+}
+
+func TestAnalysisFacade(t *testing.T) {
+	m := churnnet.NewWarmModel(churnnet.SDG, 1000, 2, 6)
+	g := m.Graph()
+	if churnnet.IsolatedFraction(g) <= 0 {
+		t.Fatal("SDG d=2 should have isolated nodes")
+	}
+	ds := churnnet.Degrees(g)
+	if math.Abs(ds.Mean-2) > 0.3 {
+		t.Fatalf("mean degree %v", ds.Mean)
+	}
+	res := churnnet.LifetimeIsolation(m, 0)
+	if res.WatchedAtStart == 0 {
+		t.Fatal("no watched nodes")
+	}
+	m2 := churnnet.NewWarmModel(churnnet.SDGR, 500, 10, 7)
+	q := churnnet.InDegreeByAgeQuantile(m2.Graph(), 5)
+	if len(q) != 5 || q[0] <= q[4] {
+		t.Fatalf("age bias quantiles %v", q)
+	}
+	profile := churnnet.AgeProfile(m2.Graph(), m2.Now(), 100)
+	total := 0
+	for _, c := range profile {
+		total += c
+	}
+	if total != m2.Graph().NumAlive() {
+		t.Fatalf("profile total %d != alive %d", total, m2.Graph().NumAlive())
+	}
+}
+
+func TestOnionFacade(t *testing.T) {
+	res := churnnet.OnionStreaming(50000, 250, 8)
+	if !res.Reached && !res.DiedOut {
+		t.Fatal("onion cascade must terminate")
+	}
+	ext := churnnet.OnionExtended(50000, 1200, 0, 9)
+	if ext.Target <= 0 {
+		t.Fatalf("extended target %d", ext.Target)
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	if len(churnnet.Experiments()) != 25 {
+		t.Fatalf("suite size %d", len(churnnet.Experiments()))
+	}
+	tab, err := churnnet.RunExperiment("F16", churnnet.ScaleSmoke, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tab.Markdown(), "Lemma 4.8") {
+		t.Fatal("table markdown missing reference")
+	}
+	if _, err := churnnet.RunExperiment("F99", churnnet.ScaleSmoke, 1); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestParseScaleFacade(t *testing.T) {
+	s, err := churnnet.ParseScale("paper")
+	if err != nil || s != churnnet.ScalePaper {
+		t.Fatal("ParseScale")
+	}
+}
+
+func TestDeterministicFacade(t *testing.T) {
+	a := churnnet.NewWarmModel(churnnet.PDGR, 400, 20, 42)
+	b := churnnet.NewWarmModel(churnnet.PDGR, 400, 20, 42)
+	if a.Graph().NumAlive() != b.Graph().NumAlive() {
+		t.Fatal("same seed, different size")
+	}
+	ra := churnnet.Flood(a, churnnet.FloodOptions{})
+	rb := churnnet.Flood(b, churnnet.FloodOptions{})
+	if ra.CompletionRound != rb.CompletionRound || ra.EverInformed != rb.EverInformed {
+		t.Fatal("same seed, different flooding")
+	}
+}
+
+func TestHooksFacade(t *testing.T) {
+	m := churnnet.NewModel(churnnet.SDG, 50, 2, 10)
+	births := 0
+	m.SetHooks(churnnet.Hooks{OnBirth: func(churnnet.Handle) { births++ }})
+	for i := 0; i < 30; i++ {
+		m.AdvanceRound()
+	}
+	if births != 30 {
+		t.Fatalf("births %d", births)
+	}
+}
+
+func TestTableOneShapeIntegration(t *testing.T) {
+	// The headline qualitative reproduction, via the public API only.
+	// Constant d (here 3) with e^{−2d}·n >> 1 puts SDG in the
+	// isolated-node regime: most nodes get informed, completion never
+	// happens. Regeneration at the theorem's d ≥ 21 flips the outcome to
+	// complete O(log n) broadcast.
+	const n = 4000
+	noRegen := churnnet.Flood(churnnet.NewWarmModel(churnnet.SDG, n, 3, 11), churnnet.FloodOptions{})
+	regen := churnnet.Flood(churnnet.NewWarmModel(churnnet.SDGR, n, 21, 11), churnnet.FloodOptions{})
+	if noRegen.Completed {
+		t.Fatal("SDG completed despite isolated nodes")
+	}
+	if noRegen.PeakFraction < 0.6 {
+		t.Fatalf("SDG peak fraction %v, want most nodes informed", noRegen.PeakFraction)
+	}
+	if !regen.Completed {
+		t.Fatal("SDGR must complete")
+	}
+}

@@ -1,0 +1,103 @@
+// Command churnsim builds one of the paper's dynamic network models, runs
+// it, and prints snapshot statistics: population, edges, degree
+// distribution, isolated nodes and age demographics.
+//
+// Usage:
+//
+//	churnsim -model PDGR -n 10000 -d 35 -rounds 100 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	churnnet "github.com/dyngraph/churnnet"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "PDGR", "model: SDG, SDGR, PDG or PDGR")
+		n         = flag.Int("n", 10000, "size parameter (steady-state / expected population)")
+		d         = flag.Int("d", 35, "out-degree: requests per node")
+		rounds    = flag.Int("rounds", 0, "extra rounds to run after warm-up")
+		seed      = flag.Uint64("seed", 1, "deterministic seed")
+		expand    = flag.Bool("expansion", false, "also estimate vertex expansion (slower)")
+		traceFile = flag.String("trace", "", "write a per-round CSV time series to this file")
+	)
+	flag.Parse()
+
+	kind, err := parseKind(*modelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "churnsim:", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("building %s with n=%d, d=%d (seed %d)...\n", kind, *n, *d, *seed)
+	m := churnnet.NewWarmModel(kind, *n, *d, *seed)
+	if *traceFile != "" {
+		rec := churnnet.NewTraceRecorder()
+		rec.Run(m, *rounds)
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "churnsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := rec.WriteCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, "churnsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace of %d rounds written to %s\n", *rounds, *traceFile)
+	} else {
+		for i := 0; i < *rounds; i++ {
+			m.AdvanceRound()
+		}
+	}
+
+	g := m.Graph()
+	ds := churnnet.Degrees(g)
+	fmt.Printf("\nsnapshot at t=%.1f\n", m.Now())
+	fmt.Printf("  population        %d\n", g.NumAlive())
+	fmt.Printf("  live edges        %d\n", g.NumEdgesLive())
+	fmt.Printf("  mean degree       %.2f (out %.2f, in %.2f)\n", ds.Mean, ds.MeanOut, ds.MeanIn)
+	fmt.Printf("  min/max degree    %d / %d\n", ds.Min, ds.Max)
+	fmt.Printf("  isolated nodes    %d (%.3f%%)\n", ds.Isolated,
+		100*churnnet.IsolatedFraction(g))
+
+	profile := churnnet.AgeProfile(g, m.Now(), float64(*n)/4)
+	fmt.Printf("  age slices (%d-wide): ", *n/4)
+	for i, c := range profile {
+		if i > 7 {
+			fmt.Printf("…")
+			break
+		}
+		fmt.Printf("%d ", c)
+	}
+	fmt.Println()
+
+	if *expand {
+		fmt.Println("\nestimating vertex expansion (witness search)...")
+		p := churnnet.EstimateExpansion(g, *seed+1, churnnet.ExpansionConfig{})
+		min, w := p.Min()
+		fmt.Printf("  min ratio found   %.3f (witness size %d, boundary %d)\n",
+			min, w.Size, w.Boundary)
+		for _, band := range [][2]int{{1, 10}, {11, g.NumAlive() / 10}, {g.NumAlive()/10 + 1, g.NumAlive() / 2}} {
+			if band[1] < band[0] {
+				continue
+			}
+			v, bw := p.MinInRange(band[0], band[1])
+			fmt.Printf("  sizes %6d..%-6d  min %.3f (witness %d)\n", band[0], band[1], v, bw.Size)
+		}
+	}
+}
+
+func parseKind(s string) (churnnet.ModelKind, error) {
+	for _, k := range churnnet.ModelKinds() {
+		if strings.EqualFold(k.String(), s) {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown model %q (want SDG, SDGR, PDG or PDGR)", s)
+}

@@ -1,0 +1,70 @@
+// Command overlaysim runs the Bitcoin-style address-gossip overlay
+// (the paper's Section 1.1 motivation) and reports how closely it tracks
+// the idealized PDGR model: degrees, isolation, dial statistics and
+// broadcast behavior.
+//
+// Usage:
+//
+//	overlaysim -n 4000 -d 16 -maxin 128 -broadcasts 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+
+	churnnet "github.com/dyngraph/churnnet"
+)
+
+func main() {
+	var (
+		n          = flag.Int("n", 4000, "expected population")
+		d          = flag.Int("d", 16, "target outbound connections")
+		maxIn      = flag.Int("maxin", 0, "inbound cap (0 = unlimited)")
+		book       = flag.Int("book", 256, "address book capacity")
+		gossip     = flag.Float64("gossip", 8, "ADDR gossip interval (time units)")
+		broadcasts = flag.Int("broadcasts", 10, "number of test broadcasts")
+		seed       = flag.Uint64("seed", 1, "deterministic seed")
+	)
+	flag.Parse()
+
+	fmt.Printf("overlay: n=%d d=%d maxin=%d book=%d gossip=%.1f (seed %d)\n",
+		*n, *d, *maxIn, *book, *gossip, *seed)
+	ov := churnnet.NewOverlay(churnnet.OverlayConfig{
+		N: *n, D: *d, MaxIn: *maxIn, AddrBookCap: *book, GossipInterval: *gossip,
+	}, *seed)
+	fmt.Println("warming up (3n time units)...")
+	ov.WarmUp()
+
+	g := ov.Graph()
+	ds := churnnet.Degrees(g)
+	fmt.Printf("\npopulation       %d\n", g.NumAlive())
+	fmt.Printf("mean out-degree  %.2f (target %d)\n", ds.MeanOut, *d)
+	fmt.Printf("max degree       %d\n", ds.Max)
+	fmt.Printf("isolated         %.3f%%\n", 100*churnnet.IsolatedFraction(g))
+	ok, stale, full := ov.DialStats()
+	fmt.Printf("redials          %d ok / %d stale / %d peer-full\n", ok, stale, full)
+
+	fmt.Printf("\nrunning %d broadcasts...\n", *broadcasts)
+	var rounds []float64
+	completed := 0
+	for i := 0; i < *broadcasts; i++ {
+		for j := 0; j < 5; j++ {
+			ov.AdvanceRound()
+		}
+		if !g.IsAlive(ov.LastBorn()) {
+			ov.AdvanceRound()
+		}
+		res := churnnet.Flood(ov, churnnet.FloodOptions{})
+		if res.Completed {
+			completed++
+			rounds = append(rounds, float64(res.CompletionRound))
+		}
+	}
+	fmt.Printf("completed        %d/%d\n", completed, *broadcasts)
+	if len(rounds) > 0 {
+		sort.Float64s(rounds)
+		fmt.Printf("rounds           median %.0f, max %.0f\n",
+			rounds[len(rounds)/2], rounds[len(rounds)-1])
+	}
+}

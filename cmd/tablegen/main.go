@@ -1,0 +1,137 @@
+// Command tablegen regenerates the paper's tables and figures (the
+// reproduction suite T1, F1..F20) and writes them as Markdown, CSV or
+// aligned text. Its Markdown output at -scale standard is the source of
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	tablegen                       # full suite, markdown, stdout
+//	tablegen -scale paper -o EXPERIMENTS.md
+//	tablegen -id F10 -format text  # one experiment, terminal table
+//	tablegen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	churnnet "github.com/dyngraph/churnnet"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "standard", "smoke, standard or paper")
+		seed      = flag.Uint64("seed", 1, "deterministic root seed")
+		id        = flag.String("id", "", "run a single experiment (e.g. F10); empty = full suite")
+		format    = flag.String("format", "markdown", "markdown, csv or text")
+		out       = flag.String("o", "", "output file (default stdout)")
+		list      = flag.Bool("list", false, "list the experiment suite and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range churnnet.Experiments() {
+			fmt.Printf("%-4s [%s] %s\n", e.ID, e.PaperRef, e.Title)
+		}
+		return
+	}
+
+	scale, err := churnnet.ParseScale(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	start := time.Now()
+	if *id != "" {
+		tab, err := churnnet.RunExperiment(*id, scale, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		switch *format {
+		case "csv":
+			fmt.Fprint(w, tab.CSV())
+		case "text":
+			fmt.Fprint(w, tab.Text())
+		default:
+			fmt.Fprint(w, tab.Markdown())
+		}
+		fmt.Fprintf(os.Stderr, "tablegen: %s done in %v\n", *id, time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	rep := churnnet.RunAllExperiments(scale, *seed)
+	switch *format {
+	case "csv":
+		for _, tab := range rep.Tables {
+			fmt.Fprintf(w, "# %s — %s\n%s\n", tab.ID, tab.Title, tab.CSV())
+		}
+	case "text":
+		for _, tab := range rep.Tables {
+			fmt.Fprintln(w, tab.Text())
+		}
+	default:
+		fmt.Fprint(w, rep.Markdown())
+		fmt.Fprintf(w, notes, *seed)
+	}
+	fmt.Fprintf(os.Stderr, "tablegen: suite done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// notes is the reproduction appendix emitted after the full markdown suite.
+const notes = `---
+
+## Reproduction notes
+
+**Regenerating this file.** Every table above is produced by
+
+` + "```sh\ngo run ./cmd/tablegen -scale standard -seed %d -o EXPERIMENTS.md\n```" + `
+
+Single experiments: ` + "`go run ./cmd/tablegen -id F10 -format text`" + `. The
+` + "`-scale paper`" + ` flag runs the largest parameterizations; ` + "`-scale smoke`" + ` is
+the sub-second version exercised by ` + "`go test`" + ` and ` + "`go test -bench=.`" + `
+(one benchmark per table, see ` + "`bench_test.go`" + `).
+
+**How to read the numbers.**
+
+- *w.h.p. claims* are reproduced as frequencies over independent seeded
+  trials; "pass" columns check the claimed inequality on the measured
+  values.
+- *Expansion values* are witness-search results: upper bounds on the true
+  minimum ratio h_out (computing it exactly is NP-hard). The suite
+  therefore reproduces the paper's *shape* — zero-ratio witnesses exist
+  exactly where the paper proves isolated nodes, and no witness below 0.1
+  is ever found where the paper proves expansion. The spectral-gap column
+  (F8/F9) is an independent witness-free cross-check, and expansion.Exact
+  validates the search against exhaustive enumeration on small graphs in
+  the test suite.
+- *Flooding times* are in message-transmission units (one streaming round,
+  one unit of Poisson time). The paper's lower-bound constants (e.g.
+  Ω(e^(−d²)) in F5) are loose by design; measured rates dominate them
+  wherever the bound is resolvable at the trial count.
+- The paper proves asymptotic statements for sufficiently large d and n;
+  the tables show the same inequalities already holding at the simulated
+  sizes, with the theory constants (0.1 expansion, e^(−2d)/6 isolation,
+  d/20 cascade growth) annotated inline.
+
+**Substitutions.** None. The paper is self-contained mathematics; every
+model, process and baseline is implemented directly (see DESIGN.md). The
+extension experiments F21–F24 test the paper's informal Section 1.1/5
+claims (overlay realism, bounded-degree dynamics, giant-component
+structure) rather than formal theorems.
+`
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tablegen:", err)
+	os.Exit(2)
+}

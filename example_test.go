@@ -1,0 +1,39 @@
+package churnnet_test
+
+import (
+	"fmt"
+
+	churnnet "github.com/dyngraph/churnnet"
+)
+
+// The quickstart: build a warmed Poisson network with edge regeneration
+// and broadcast from its newest node.
+func ExampleFlood() {
+	m := churnnet.NewWarmModel(churnnet.PDGR, 2000, 35, 1)
+	res := churnnet.Flood(m, churnnet.FloodOptions{})
+	fmt.Println("completed:", res.Completed)
+	// Output: completed: true
+}
+
+// Static baseline of Lemma B.1: every node makes d uniform requests.
+func ExampleNewDOutGraph() {
+	g, hs := churnnet.NewDOutGraph(1000, 3, 7)
+	fmt.Println("nodes:", g.NumAlive(), "edges:", g.NumEdgesLive())
+	res := churnnet.Flood(churnnet.NewStaticModel(g, 3), churnnet.FloodOptions{Source: hs[0]})
+	fmt.Println("completed:", res.Completed)
+	// Output:
+	// nodes: 1000 edges: 3000
+	// completed: true
+}
+
+// Isolated nodes appear in the models without edge regeneration
+// (Lemma 3.5) and vanish with regeneration.
+func ExampleIsolatedFraction() {
+	noRegen := churnnet.NewWarmModel(churnnet.SDG, 2000, 2, 1)
+	regen := churnnet.NewWarmModel(churnnet.SDGR, 2000, 2, 1)
+	fmt.Println("SDG has isolated nodes:", churnnet.IsolatedFraction(noRegen.Graph()) > 0)
+	fmt.Println("SDGR has isolated nodes:", churnnet.IsolatedFraction(regen.Graph()) > 0)
+	// Output:
+	// SDG has isolated nodes: true
+	// SDGR has isolated nodes: false
+}

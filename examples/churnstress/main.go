@@ -1,0 +1,74 @@
+// Churn stress: the paper's central contrast, run head to head. The same
+// streaming churn (one birth and one death per round) drives two networks —
+// one that never repairs edges (SDG) and one that regenerates every lost
+// out-edge (SDGR) — across a range of degrees. Without repair, isolated
+// nodes appear and broadcasts can never complete; with repair, the network
+// is an expander and every broadcast completes in O(log n) rounds.
+package main
+
+import (
+	"fmt"
+
+	churnnet "github.com/dyngraph/churnnet"
+)
+
+func main() {
+	const (
+		n      = 3000
+		trials = 5
+		seed   = 99
+	)
+
+	fmt.Printf("streaming churn, n=%d, %d broadcasts per cell\n\n", n, trials)
+	fmt.Println("          ----------- SDG (no repair) ----------   --------- SDGR (repair) ---------")
+	fmt.Println("   d      isolated   completed   peak informed     isolated   completed   median rds")
+
+	for _, d := range []int{2, 4, 8, 16, 24} {
+		sdgIso, sdgDone, sdgPeak := cell(churnnet.SDG, n, d, trials, seed)
+		rIso, rDone, rRounds := cellRegen(churnnet.SDGR, n, d, trials, seed)
+		fmt.Printf("  %2d      %7.3f%%   %8.0f%%   %12.1f%%     %7.3f%%   %8.0f%%   %10s\n",
+			d, 100*sdgIso, 100*sdgDone, 100*sdgPeak, 100*rIso, 100*rDone, rRounds)
+	}
+
+	fmt.Println("\nreading: SDG isolated fraction tracks (1/6)·e^(−2d) (Lemma 3.5) and keeps")
+	fmt.Println("completion at 0% until e^(−2d)·n < 1; SDGR never has isolated nodes and,")
+	fmt.Println("once d supports expansion (Theorem 3.15: d ≥ 14), completes every broadcast.")
+}
+
+func cell(kind churnnet.ModelKind, n, d, trials int, seed uint64) (iso, done, peak float64) {
+	for t := 0; t < trials; t++ {
+		m := churnnet.NewWarmModel(kind, n, d, seed+uint64(t))
+		iso += churnnet.IsolatedFraction(m.Graph())
+		res := churnnet.Flood(m, churnnet.FloodOptions{})
+		if res.Completed {
+			done++
+		}
+		peak += res.PeakFraction
+	}
+	k := float64(trials)
+	return iso / k, done / k, peak / k
+}
+
+func cellRegen(kind churnnet.ModelKind, n, d, trials int, seed uint64) (iso, done float64, rounds string) {
+	var rds []int
+	for t := 0; t < trials; t++ {
+		m := churnnet.NewWarmModel(kind, n, d, seed+uint64(t))
+		iso += churnnet.IsolatedFraction(m.Graph())
+		res := churnnet.Flood(m, churnnet.FloodOptions{})
+		if res.Completed {
+			done++
+			rds = append(rds, res.CompletionRound)
+		}
+	}
+	rounds = "—"
+	if len(rds) > 0 {
+		for i := 1; i < len(rds); i++ { // insertion sort; tiny slice
+			for j := i; j > 0 && rds[j] < rds[j-1]; j-- {
+				rds[j], rds[j-1] = rds[j-1], rds[j]
+			}
+		}
+		rounds = fmt.Sprintf("%d", rds[len(rds)/2])
+	}
+	k := float64(trials)
+	return iso / k, done / k, rounds
+}

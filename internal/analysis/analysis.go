@@ -1,0 +1,262 @@
+// Package analysis measures the structural quantities the paper's lemmas
+// quantify on model snapshots: isolated nodes (Lemmas 3.5/4.10, including
+// the "isolated for the rest of their lifetime" refinement), degree
+// statistics (Lemma 6.1 and the max-degree remark of Section 5), the age
+// bias of edge destinations (Lemmas 3.14/4.15) and the age-slice
+// demographics used by the proof of Theorem 4.16.
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"github.com/dyngraph/churnnet/internal/core"
+	"github.com/dyngraph/churnnet/internal/graph"
+	"github.com/dyngraph/churnnet/internal/stats"
+)
+
+// IsolatedCount returns the number of alive nodes with no live edge.
+func IsolatedCount(g *graph.Graph) int {
+	n := 0
+	g.ForEachAlive(func(h graph.Handle) bool {
+		if g.IsIsolated(h) {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// IsolatedFraction returns IsolatedCount divided by the alive count (0 for
+// an empty graph).
+func IsolatedFraction(g *graph.Graph) float64 {
+	n := g.NumAlive()
+	if n == 0 {
+		return 0
+	}
+	return float64(IsolatedCount(g)) / float64(n)
+}
+
+// LifetimeIsolationResult reports a LifetimeIsolation measurement.
+type LifetimeIsolationResult struct {
+	// WatchedAtStart is the number of isolated nodes at observation time.
+	WatchedAtStart int
+	// StayedIsolated is how many of them died without ever gaining an
+	// edge — the quantity Lemmas 3.5/4.10 lower-bound by (1/6)e^{−2d}n and
+	// (1/18)e^{−2d}n respectively.
+	StayedIsolated int
+	// RoundsRun is the number of model rounds simulated until every
+	// watched node died (or the cap was hit).
+	RoundsRun int
+	// Truncated reports that the cap expired with watched nodes alive;
+	// survivors are counted in StayedIsolated (they are still isolated).
+	Truncated bool
+}
+
+// LifetimeIsolation finds the nodes isolated in the current snapshot of m
+// and runs the model forward until they have all died, counting those that
+// never gained an edge. Only meaningful for models without edge
+// regeneration (in SDGR/PDGR isolated nodes do not occur); it panics on a
+// regenerating model. maxRounds caps the forward simulation (0 means
+// 20·n).
+func LifetimeIsolation(m core.Model, maxRounds int) LifetimeIsolationResult {
+	if m.Kind().Regen() {
+		panic("analysis: LifetimeIsolation on a regenerating model")
+	}
+	g := m.Graph()
+	if maxRounds <= 0 {
+		maxRounds = 20 * m.N()
+	}
+
+	watched := make(map[graph.Handle]bool) // true = still isolated
+	g.ForEachAlive(func(h graph.Handle) bool {
+		if g.IsIsolated(h) {
+			watched[h] = true
+		}
+		return true
+	})
+	res := LifetimeIsolationResult{WatchedAtStart: len(watched)}
+	if len(watched) == 0 {
+		return res
+	}
+
+	alive := len(watched)
+	// In models without regeneration a watched node can gain an edge only
+	// from a newborn's requests, so checking newborn out-targets is a
+	// complete detector.
+	m.SetHooks(core.Hooks{
+		OnBirth: func(h graph.Handle) {
+			g.OutTargets(h, func(t graph.Handle) bool {
+				if isolated, ok := watched[t]; ok && isolated {
+					watched[t] = false
+				}
+				return true
+			})
+		},
+		OnDeath: func(h graph.Handle) {
+			if isolated, ok := watched[h]; ok {
+				if isolated {
+					res.StayedIsolated++
+				}
+				delete(watched, h)
+				alive--
+			}
+		},
+	})
+	defer m.SetHooks(core.Hooks{})
+
+	for round := 0; alive > 0 && round < maxRounds; round++ {
+		m.AdvanceRound()
+		res.RoundsRun++
+	}
+	if alive > 0 {
+		res.Truncated = true
+		for _, isolated := range watched {
+			if isolated {
+				res.StayedIsolated++ // still isolated at cap: count it
+			}
+		}
+	}
+	return res
+}
+
+// DegreeStats summarizes the live-degree distribution of a snapshot.
+type DegreeStats struct {
+	N        int
+	MeanOut  float64
+	MeanIn   float64
+	Mean     float64 // MeanOut + MeanIn
+	Max      int
+	Min      int
+	StdDev   float64
+	Isolated int
+}
+
+// Degrees measures the snapshot degree distribution (live edges only;
+// parallel edges counted).
+func Degrees(g *graph.Graph) DegreeStats {
+	var acc stats.Accumulator
+	ds := DegreeStats{N: g.NumAlive(), Min: math.MaxInt}
+	var sumOut, sumIn int
+	g.ForEachAlive(func(h graph.Handle) bool {
+		out := g.OutDegreeLive(h)
+		in := g.InDegreeLive(h)
+		d := out + in
+		sumOut += out
+		sumIn += in
+		acc.Add(float64(d))
+		if d > ds.Max {
+			ds.Max = d
+		}
+		if d < ds.Min {
+			ds.Min = d
+		}
+		if d == 0 {
+			ds.Isolated++
+		}
+		return true
+	})
+	if ds.N == 0 {
+		ds.Min = 0
+		return ds
+	}
+	ds.MeanOut = float64(sumOut) / float64(ds.N)
+	ds.MeanIn = float64(sumIn) / float64(ds.N)
+	ds.Mean = acc.Mean()
+	ds.StdDev = acc.StdDev()
+	return ds
+}
+
+// byAge returns the alive handles sorted oldest first.
+func byAge(g *graph.Graph) []graph.Handle {
+	hs := g.AliveHandles()
+	sort.Slice(hs, func(i, j int) bool { return g.BirthSeq(hs[i]) < g.BirthSeq(hs[j]) })
+	return hs
+}
+
+// InDegreeByAgeQuantile splits the alive nodes into `buckets` equal age
+// cohorts (index 0 = oldest) and returns the mean live in-degree of each —
+// the observable face of the destination-probability bounds of Lemmas 3.14
+// and 4.15: regeneration lets old nodes accumulate extra in-edges (factor
+// up to (1+1/(n−1))^k ≤ e in the streaming model).
+func InDegreeByAgeQuantile(g *graph.Graph, buckets int) []float64 {
+	return degreeByAgeQuantile(g, buckets, g.InDegreeLive)
+}
+
+// OutDegreeByAgeQuantile is the out-edge analogue (in models without
+// regeneration the out-degree of a cohort decays with its age: a target
+// survives with probability 1 − age/n in the streaming model).
+func OutDegreeByAgeQuantile(g *graph.Graph, buckets int) []float64 {
+	return degreeByAgeQuantile(g, buckets, g.OutDegreeLive)
+}
+
+func degreeByAgeQuantile(g *graph.Graph, buckets int, deg func(graph.Handle) int) []float64 {
+	if buckets <= 0 {
+		panic("analysis: buckets must be positive")
+	}
+	hs := byAge(g)
+	out := make([]float64, buckets)
+	if len(hs) == 0 {
+		return out
+	}
+	counts := make([]int, buckets)
+	for i, h := range hs {
+		b := i * buckets / len(hs)
+		out[b] += float64(deg(h))
+		counts[b]++
+	}
+	for b := range out {
+		if counts[b] > 0 {
+			out[b] /= float64(counts[b])
+		}
+	}
+	return out
+}
+
+// AgeProfile counts alive nodes per age slice of the given width (in model
+// time units), slice 0 being the youngest — the demographic vector
+// (K_1, ..., K_L) of the proof of Theorem 4.16. Slices beyond the oldest
+// node are omitted.
+func AgeProfile(g *graph.Graph, now, sliceWidth float64) []int {
+	if sliceWidth <= 0 {
+		panic("analysis: sliceWidth must be positive")
+	}
+	var profile []int
+	g.ForEachAlive(func(h graph.Handle) bool {
+		age := now - g.BirthTime(h)
+		if age < 0 {
+			age = 0
+		}
+		idx := int(age / sliceWidth)
+		for len(profile) <= idx {
+			profile = append(profile, 0)
+		}
+		profile[idx]++
+		return true
+	})
+	return profile
+}
+
+// GeometricDecayRate fits the per-slice survival ratio of an age profile:
+// for the Poisson model with slice width w the stationary profile decays by
+// e^{−w/n} per slice. Returns the mean ratio profile[i+1]/profile[i] over
+// slices with at least minCount nodes.
+func GeometricDecayRate(profile []int, minCount int) float64 {
+	var acc stats.Accumulator
+	for i := 0; i+1 < len(profile); i++ {
+		if profile[i] >= minCount && profile[i+1] >= minCount {
+			acc.Add(float64(profile[i+1]) / float64(profile[i]))
+		}
+	}
+	return acc.Mean()
+}
+
+// OldestAge returns the age (in model time units) of the oldest alive node
+// (0 for an empty graph).
+func OldestAge(g *graph.Graph, now float64) float64 {
+	oldest := g.Oldest()
+	if oldest.IsNil() {
+		return 0
+	}
+	return now - g.BirthTime(oldest)
+}

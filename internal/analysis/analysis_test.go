@@ -1,0 +1,260 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"github.com/dyngraph/churnnet/internal/core"
+	"github.com/dyngraph/churnnet/internal/graph"
+	"github.com/dyngraph/churnnet/internal/rng"
+	"github.com/dyngraph/churnnet/internal/staticgraph"
+)
+
+func TestIsolatedCount(t *testing.T) {
+	g, hs := staticgraph.Disconnected(4, 3)
+	if got := IsolatedCount(g); got != 4 {
+		t.Fatalf("isolated = %d", got)
+	}
+	if got := IsolatedFraction(g); math.Abs(got-4.0/7) > 1e-12 {
+		t.Fatalf("fraction = %v", got)
+	}
+	g.RemoveNode(hs[0], nil)
+	if got := IsolatedCount(g); got != 3 {
+		t.Fatalf("after removal = %d", got)
+	}
+}
+
+func TestIsolatedFractionEmpty(t *testing.T) {
+	g := graph.New(0, 0)
+	if IsolatedFraction(g) != 0 {
+		t.Fatal("empty graph fraction")
+	}
+}
+
+func TestDegreesKnownGraph(t *testing.T) {
+	g, _ := staticgraph.Star(5) // center degree 4, leaves degree 1
+	ds := Degrees(g)
+	if ds.N != 5 {
+		t.Fatalf("N = %d", ds.N)
+	}
+	if ds.Max != 4 || ds.Min != 1 {
+		t.Fatalf("max/min = %d/%d", ds.Max, ds.Min)
+	}
+	if math.Abs(ds.Mean-8.0/5) > 1e-12 {
+		t.Fatalf("mean = %v", ds.Mean)
+	}
+	// Directed split: center made 4 requests (star builder directs from
+	// center), so MeanOut = 4/5 and MeanIn = 4/5.
+	if math.Abs(ds.MeanOut-0.8) > 1e-12 || math.Abs(ds.MeanIn-0.8) > 1e-12 {
+		t.Fatalf("out/in = %v/%v", ds.MeanOut, ds.MeanIn)
+	}
+	if ds.Isolated != 0 {
+		t.Fatal("no isolated nodes in a star")
+	}
+}
+
+func TestDegreesEmpty(t *testing.T) {
+	ds := Degrees(graph.New(0, 0))
+	if ds.N != 0 || ds.Min != 0 || ds.Max != 0 {
+		t.Fatalf("%+v", ds)
+	}
+}
+
+func TestDegreesSDGLemma61(t *testing.T) {
+	m := core.NewStreaming(3000, 5, false, rng.New(1))
+	m.WarmUp()
+	ds := Degrees(m.Graph())
+	if math.Abs(ds.Mean-5) > 0.2 {
+		t.Fatalf("SDG mean degree %v, want ~5 (Lemma 6.1)", ds.Mean)
+	}
+	if ds.MeanOut >= 5.0 || ds.MeanOut < 2.0 {
+		// Out-degree decays with age: mean ~ d·(1 − E[age]/n) ≈ d/2... in
+		// fact E[live out] = d·(1 − (age−1)/n) averaged ≈ d·(1/2 + 1/2n).
+		t.Fatalf("SDG mean live out-degree %v", ds.MeanOut)
+	}
+}
+
+func TestLifetimeIsolationSDG(t *testing.T) {
+	// Lemma 3.5: at least (1/6)e^{−2d}·n nodes stay isolated for life.
+	const n, d = 2000, 2
+	m := core.NewStreaming(n, d, false, rng.New(2))
+	m.WarmUp()
+	res := LifetimeIsolation(m, 0)
+	if res.WatchedAtStart == 0 {
+		t.Fatal("no isolated nodes found in SDG d=2")
+	}
+	if res.Truncated {
+		t.Fatal("streaming lifetimes are exactly n; the run must finish")
+	}
+	if res.RoundsRun > n {
+		t.Fatalf("rounds run %d > n", res.RoundsRun)
+	}
+	bound := int(float64(n) * math.Exp(-2*d) / 6)
+	if res.StayedIsolated < bound {
+		t.Fatalf("stayed isolated %d < paper bound %d (watched %d)",
+			res.StayedIsolated, bound, res.WatchedAtStart)
+	}
+	if res.StayedIsolated > res.WatchedAtStart {
+		t.Fatal("stayed > watched")
+	}
+}
+
+func TestLifetimeIsolationPDG(t *testing.T) {
+	// Lemma 4.10 analogue; Poisson lifetimes are unbounded so allow the
+	// cap to truncate (survivors still count as isolated so far).
+	const n, d = 800, 2
+	m := core.NewPoisson(n, d, false, rng.New(3))
+	m.WarmUpRounds(10 * n)
+	res := LifetimeIsolation(m, 40*n)
+	if res.WatchedAtStart == 0 {
+		t.Fatal("no isolated nodes found in PDG d=2")
+	}
+	if res.StayedIsolated == 0 {
+		t.Fatal("no node stayed isolated")
+	}
+}
+
+func TestLifetimeIsolationPanicsOnRegen(t *testing.T) {
+	m := core.NewStreaming(50, 3, true, rng.New(4))
+	m.WarmUp()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LifetimeIsolation(m, 0)
+}
+
+func TestInDegreeByAgeQuantileRegen(t *testing.T) {
+	// Lemma 3.14 consequence: with regeneration, in-edges arrive at a
+	// near-uniform per-round rate (~2d/n: newborn requests plus redirected
+	// orphans), so the accumulated in-degree grows with age — the cohort
+	// curve must increase monotonically from youngest to oldest, and the
+	// overall mean in-degree must equal d (every node keeps d live
+	// out-edges).
+	const d = 10
+	m := core.NewStreaming(4000, d, true, rng.New(5))
+	m.WarmUp()
+	q := InDegreeByAgeQuantile(m.Graph(), 10)
+	if len(q) != 10 {
+		t.Fatalf("buckets %d", len(q))
+	}
+	for i := 1; i < len(q); i++ {
+		if q[i-1] <= q[i] {
+			t.Fatalf("in-degree not decreasing with youth at %d: %v", i, q)
+		}
+	}
+	mean := 0.0
+	for _, v := range q {
+		mean += v
+	}
+	mean /= float64(len(q))
+	if math.Abs(mean-d) > 0.5 {
+		t.Fatalf("mean in-degree %v, want ~%d", mean, d)
+	}
+}
+
+func TestOutDegreeByAgeQuantileNoRegen(t *testing.T) {
+	// Without regeneration the out-degree decays with age: the oldest
+	// cohort keeps roughly d·(1 − age/n) live out-edges.
+	m := core.NewStreaming(4000, 10, false, rng.New(6))
+	m.WarmUp()
+	q := OutDegreeByAgeQuantile(m.Graph(), 10)
+	if q[0] >= q[9] {
+		t.Fatalf("no-regen out-degree must decay with age: %v", q)
+	}
+	// Youngest decile keeps nearly all d out-edges, oldest ~ d/10.
+	if q[9] < 8.5 || q[0] > 2.5 {
+		t.Fatalf("decay endpoints off: %v", q)
+	}
+}
+
+func TestDegreeByAgeQuantilePanics(t *testing.T) {
+	g, _ := staticgraph.Path(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	InDegreeByAgeQuantile(g, 0)
+}
+
+func TestDegreeByAgeQuantileEmpty(t *testing.T) {
+	q := InDegreeByAgeQuantile(graph.New(0, 0), 4)
+	for _, v := range q {
+		if v != 0 {
+			t.Fatal("empty graph quantiles must be zero")
+		}
+	}
+}
+
+func TestAgeProfileStreaming(t *testing.T) {
+	// Streaming ages are uniform on [0, n): with slice width n/4, the
+	// profile must be 4 equal slices.
+	const n = 400
+	m := core.NewStreaming(n, 1, false, rng.New(7))
+	m.WarmUp()
+	profile := AgeProfile(m.Graph(), m.Now(), float64(n)/4)
+	if len(profile) != 4 {
+		t.Fatalf("profile %v", profile)
+	}
+	for _, c := range profile {
+		if c != n/4 {
+			t.Fatalf("uniform profile expected: %v", profile)
+		}
+	}
+}
+
+func TestAgeProfilePoissonDecay(t *testing.T) {
+	// Poisson ages are Exp(1/n): slices of width n/2 decay by e^{-1/2}.
+	const n = 4000
+	m := core.NewPoisson(n, 1, false, rng.New(8))
+	m.WarmUpRounds(12 * n)
+	profile := AgeProfile(m.Graph(), m.Now(), float64(n)/2)
+	rate := GeometricDecayRate(profile, 30)
+	want := math.Exp(-0.5)
+	if math.Abs(rate-want) > 0.12 {
+		t.Fatalf("decay rate %v, want ~%v (profile %v)", rate, want, profile)
+	}
+}
+
+func TestAgeProfilePanics(t *testing.T) {
+	g, _ := staticgraph.Path(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AgeProfile(g, 10, 0)
+}
+
+func TestGeometricDecayRateEmpty(t *testing.T) {
+	if got := GeometricDecayRate([]int{5}, 1); got != 0 {
+		t.Fatalf("single-slice decay %v", got)
+	}
+	if got := GeometricDecayRate([]int{100, 50, 25}, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("decay %v", got)
+	}
+}
+
+func TestOldestAge(t *testing.T) {
+	g := graph.New(2, 0)
+	if OldestAge(g, 5) != 0 {
+		t.Fatal("empty graph oldest age")
+	}
+	g.AddNode(1)
+	g.AddNode(3)
+	if got := OldestAge(g, 5); got != 4 {
+		t.Fatalf("oldest age %v", got)
+	}
+}
+
+func TestLifetimeIsolationNoIsolated(t *testing.T) {
+	// A dense SDG (huge d) has no isolated nodes: zero watched, no rounds.
+	m := core.NewStreaming(200, 30, false, rng.New(9))
+	m.WarmUp()
+	res := LifetimeIsolation(m, 0)
+	if res.WatchedAtStart != 0 || res.RoundsRun != 0 {
+		t.Fatalf("%+v", res)
+	}
+}

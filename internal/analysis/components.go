@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"sort"
+
+	"github.com/dyngraph/churnnet/internal/graph"
+)
+
+// ComponentStats describes the connected-component structure of a
+// snapshot. In the models without regeneration the giant component is what
+// bounds the reachable fraction of any broadcast (Theorem 3.8's
+// 1−e^{−Ω(d)} fraction is, structurally, the giant component), while the
+// regenerating models are connected w.h.p.
+type ComponentStats struct {
+	// Count is the number of connected components (0 for empty graphs).
+	Count int
+	// Sizes lists component sizes in decreasing order.
+	Sizes []int
+	// GiantFraction is Sizes[0] / alive (0 for empty graphs).
+	GiantFraction float64
+	// IsolatedCount is the number of size-1 components with no edges.
+	IsolatedCount int
+}
+
+// Components computes the connected components of the alive graph by BFS.
+func Components(g *graph.Graph) ComponentStats {
+	var stats ComponentStats
+	n := g.NumAlive()
+	if n == 0 {
+		return stats
+	}
+	var visited graph.Marks
+	queue := make([]graph.Handle, 0, 64)
+	g.ForEachAlive(func(h graph.Handle) bool {
+		if !visited.Mark(h) {
+			return true
+		}
+		size := 1
+		queue = append(queue[:0], h)
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			g.Neighbors(u, func(v graph.Handle) bool {
+				if visited.Mark(v) {
+					size++
+					queue = append(queue, v)
+				}
+				return true
+			})
+		}
+		stats.Sizes = append(stats.Sizes, size)
+		if size == 1 {
+			stats.IsolatedCount++
+		}
+		return true
+	})
+	sort.Sort(sort.Reverse(sort.IntSlice(stats.Sizes)))
+	stats.Count = len(stats.Sizes)
+	stats.GiantFraction = float64(stats.Sizes[0]) / float64(n)
+	return stats
+}
+
+// ComponentOf returns the size of the connected component containing h
+// (0 if h is not alive).
+func ComponentOf(g *graph.Graph, h graph.Handle) int {
+	if !g.IsAlive(h) {
+		return 0
+	}
+	var visited graph.Marks
+	visited.Mark(h)
+	queue := []graph.Handle{h}
+	size := 1
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		g.Neighbors(u, func(v graph.Handle) bool {
+			if visited.Mark(v) {
+				size++
+				queue = append(queue, v)
+			}
+			return true
+		})
+	}
+	return size
+}

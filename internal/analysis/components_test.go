@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"github.com/dyngraph/churnnet/internal/core"
+	"github.com/dyngraph/churnnet/internal/graph"
+	"github.com/dyngraph/churnnet/internal/rng"
+	"github.com/dyngraph/churnnet/internal/staticgraph"
+)
+
+func TestComponentsKnownGraphs(t *testing.T) {
+	g, _ := staticgraph.Disconnected(3, 5) // 3 singletons + K5
+	cs := Components(g)
+	if cs.Count != 4 {
+		t.Fatalf("count %d", cs.Count)
+	}
+	if cs.Sizes[0] != 5 || cs.Sizes[1] != 1 {
+		t.Fatalf("sizes %v", cs.Sizes)
+	}
+	if cs.IsolatedCount != 3 {
+		t.Fatalf("isolated %d", cs.IsolatedCount)
+	}
+	if math.Abs(cs.GiantFraction-5.0/8) > 1e-12 {
+		t.Fatalf("giant %v", cs.GiantFraction)
+	}
+}
+
+func TestComponentsConnected(t *testing.T) {
+	g, _ := staticgraph.Cycle(9)
+	cs := Components(g)
+	if cs.Count != 1 || cs.GiantFraction != 1 {
+		t.Fatalf("%+v", cs)
+	}
+}
+
+func TestComponentsEmpty(t *testing.T) {
+	cs := Components(graph.New(0, 0))
+	if cs.Count != 0 || cs.GiantFraction != 0 || len(cs.Sizes) != 0 {
+		t.Fatalf("%+v", cs)
+	}
+}
+
+func TestComponentsSumToAlive(t *testing.T) {
+	m := core.NewStreaming(800, 2, false, rng.New(1))
+	m.WarmUp()
+	cs := Components(m.Graph())
+	sum := 0
+	for _, s := range cs.Sizes {
+		sum += s
+	}
+	if sum != m.Graph().NumAlive() {
+		t.Fatalf("sizes sum %d != alive %d", sum, m.Graph().NumAlive())
+	}
+	if cs.IsolatedCount != IsolatedCount(m.Graph()) {
+		t.Fatalf("isolated mismatch: %d vs %d", cs.IsolatedCount, IsolatedCount(m.Graph()))
+	}
+}
+
+func TestGiantComponentShape(t *testing.T) {
+	// SDG at d=3: isolated nodes exist, but the giant component holds
+	// most nodes — the structural face of Theorem 3.8.
+	m := core.NewStreaming(2000, 3, false, rng.New(2))
+	m.WarmUp()
+	cs := Components(m.Graph())
+	if cs.GiantFraction < 0.8 || cs.GiantFraction >= 1 {
+		t.Fatalf("giant fraction %v", cs.GiantFraction)
+	}
+	// SDGR at the same degree is connected (or nearly so).
+	mr := core.NewStreaming(2000, 3, true, rng.New(2))
+	mr.WarmUp()
+	csr := Components(mr.Graph())
+	if csr.GiantFraction < cs.GiantFraction {
+		t.Fatalf("regen giant %v below no-regen %v", csr.GiantFraction, cs.GiantFraction)
+	}
+}
+
+func TestComponentOf(t *testing.T) {
+	g, hs := staticgraph.Disconnected(2, 4)
+	if got := ComponentOf(g, hs[0]); got != 1 {
+		t.Fatalf("isolated component %d", got)
+	}
+	if got := ComponentOf(g, hs[3]); got != 4 {
+		t.Fatalf("clique component %d", got)
+	}
+	g.RemoveNode(hs[0], nil)
+	if got := ComponentOf(g, hs[0]); got != 0 {
+		t.Fatalf("dead component %d", got)
+	}
+}

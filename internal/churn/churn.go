@@ -1,0 +1,214 @@
+// Package churn implements the two node-churn processes of the paper in
+// isolation from any graph topology:
+//
+//   - the streaming churn of Definition 3.2 (one birth per round, lifetime
+//     exactly n rounds), and
+//   - the Poisson churn of Definition 4.1, simulated through its jump chain
+//     (Definition 4.5 / Lemma 4.6): with N alive nodes the wait to the next
+//     event is Exponential(Nµ+λ), the event is a birth with probability
+//     λ/(Nµ+λ) and otherwise the death of a uniformly random alive node.
+//
+// The graph models in package core drive the same processes against a
+// topology; this package additionally offers Population, a lightweight
+// node-set-only simulator used to measure the churn lemmas (4.4, 4.7, 4.8)
+// at scales where building edges would be wasted work.
+package churn
+
+import (
+	"github.com/dyngraph/churnnet/internal/dist"
+	"github.com/dyngraph/churnnet/internal/rng"
+)
+
+// EventKind distinguishes births from deaths.
+type EventKind uint8
+
+// The two jump-chain event kinds.
+const (
+	Birth EventKind = iota
+	Death
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	if k == Birth {
+		return "birth"
+	}
+	return "death"
+}
+
+// Poisson generates the jump chain of the Poisson churn process. It decides
+// *when* the next event happens and *whether* it is a birth, given the
+// current population size; victim selection is the caller's job (uniform
+// over its alive set), keeping this type independent of any node storage.
+type Poisson struct {
+	Lambda float64 // birth rate (the paper fixes λ = 1)
+	Mu     float64 // death rate per node (the paper sets µ = 1/n)
+}
+
+// NewPoisson returns the paper's parameterization: λ = 1, µ = 1/n, so the
+// stationary expected population is n.
+func NewPoisson(n int) Poisson {
+	if n <= 0 {
+		panic("churn: NewPoisson requires n > 0")
+	}
+	return Poisson{Lambda: 1, Mu: 1 / float64(n)}
+}
+
+// Next samples the next jump-chain step given n alive nodes: the waiting
+// time dt ~ Exponential(nµ+λ) and the event kind (birth with probability
+// λ/(nµ+λ), per Lemma 4.6). With n = 0 the only possible event is a birth.
+func (p Poisson) Next(r *rng.RNG, n int) (dt float64, kind EventKind) {
+	if n < 0 {
+		panic("churn: negative population")
+	}
+	rate := float64(n)*p.Mu + p.Lambda
+	dt = dist.Exponential(r, rate)
+	if n == 0 || r.Float64()*rate < p.Lambda {
+		return dt, Birth
+	}
+	return dt, Death
+}
+
+// BirthProb returns the probability that the next event is a birth when n
+// nodes are alive.
+func (p Poisson) BirthProb(n int) float64 {
+	rate := float64(n)*p.Mu + p.Lambda
+	return p.Lambda / rate
+}
+
+// Streaming is the clock of the streaming churn: at every round one node is
+// born and, once the network holds n nodes, the oldest node (born exactly n
+// rounds ago) dies. It tracks only round arithmetic; the caller owns node
+// storage.
+type Streaming struct {
+	n     int
+	round int
+}
+
+// NewStreaming returns a streaming churn with lifetime n. It panics if
+// n <= 0.
+func NewStreaming(n int) *Streaming {
+	if n <= 0 {
+		panic("churn: NewStreaming requires n > 0")
+	}
+	return &Streaming{n: n}
+}
+
+// N returns the lifetime parameter (= steady-state network size).
+func (s *Streaming) N() int { return s.n }
+
+// Round returns the number of completed rounds.
+func (s *Streaming) Round() int { return s.round }
+
+// Tick advances one round and reports whether a death occurs this round
+// (true from round n+1 onward: the node born at round t−n dies at round t).
+func (s *Streaming) Tick() (dies bool) {
+	s.round++
+	return s.round > s.n
+}
+
+// Population simulates Poisson churn over an anonymous node set: it tracks,
+// per alive node, only the jump-chain round at which it was born. It is the
+// measurement substrate for the pure-churn lemmas.
+type Population struct {
+	proc Poisson
+	r    *rng.RNG
+
+	time       float64
+	round      int
+	birthRound []int // one entry per alive node, in arbitrary order
+
+	// Counters over the whole history.
+	births, deaths int
+}
+
+// NewPopulation returns an empty population with the paper's λ=1, µ=1/n
+// churn, driven by r.
+func NewPopulation(n int, r *rng.RNG) *Population {
+	return &Population{proc: NewPoisson(n), r: r, birthRound: make([]int, 0, 2*n)}
+}
+
+// Size returns the number of alive nodes.
+func (p *Population) Size() int { return len(p.birthRound) }
+
+// Time returns the continuous model time.
+func (p *Population) Time() float64 { return p.time }
+
+// Round returns the jump-chain round counter (the r of Definition 4.5).
+func (p *Population) Round() int { return p.round }
+
+// Births and Deaths return the historical event counts.
+func (p *Population) Births() int { return p.births }
+
+// Deaths returns the number of death events so far.
+func (p *Population) Deaths() int { return p.deaths }
+
+// Step advances one jump-chain round and returns the event that occurred.
+func (p *Population) Step() EventKind {
+	dt, kind := p.proc.Next(p.r, len(p.birthRound))
+	p.time += dt
+	p.round++
+	if kind == Birth {
+		p.birthRound = append(p.birthRound, p.round)
+		p.births++
+		return Birth
+	}
+	i := p.r.Intn(len(p.birthRound))
+	p.birthRound[i] = p.birthRound[len(p.birthRound)-1]
+	p.birthRound = p.birthRound[:len(p.birthRound)-1]
+	p.deaths++
+	return Death
+}
+
+// StepRounds advances k jump-chain rounds.
+func (p *Population) StepRounds(k int) {
+	for i := 0; i < k; i++ {
+		p.Step()
+	}
+}
+
+// AdvanceTime runs the chain until at least duration time units have
+// elapsed. Thanks to memorylessness, the wait that overshoots the deadline
+// is simply truncated.
+func (p *Population) AdvanceTime(duration float64) {
+	target := p.time + duration
+	for {
+		dt, kind := p.proc.Next(p.r, len(p.birthRound))
+		if p.time+dt > target {
+			p.time = target
+			return
+		}
+		p.time += dt
+		p.round++
+		if kind == Birth {
+			p.birthRound = append(p.birthRound, p.round)
+			p.births++
+			continue
+		}
+		i := p.r.Intn(len(p.birthRound))
+		p.birthRound[i] = p.birthRound[len(p.birthRound)-1]
+		p.birthRound = p.birthRound[:len(p.birthRound)-1]
+		p.deaths++
+	}
+}
+
+// AgesInRounds returns the age (in jump-chain rounds) of every alive node.
+func (p *Population) AgesInRounds() []int {
+	out := make([]int, len(p.birthRound))
+	for i, b := range p.birthRound {
+		out[i] = p.round - b
+	}
+	return out
+}
+
+// MaxAgeRounds returns the largest age in rounds among alive nodes (0 if
+// empty).
+func (p *Population) MaxAgeRounds() int {
+	maxAge := 0
+	for _, b := range p.birthRound {
+		if age := p.round - b; age > maxAge {
+			maxAge = age
+		}
+	}
+	return maxAge
+}

@@ -1,0 +1,231 @@
+package churn
+
+import (
+	"math"
+	"testing"
+
+	"github.com/dyngraph/churnnet/internal/rng"
+)
+
+func TestPoissonBirthProb(t *testing.T) {
+	p := NewPoisson(1000)
+	// At the stationary size n, birth and death rates are equal: prob 1/2.
+	if got := p.BirthProb(1000); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("BirthProb(n) = %v", got)
+	}
+	if got := p.BirthProb(0); got != 1 {
+		t.Fatalf("BirthProb(0) = %v", got)
+	}
+	// Larger populations die more often than they are born.
+	if p.BirthProb(2000) >= 0.5 {
+		t.Fatal("BirthProb must fall below 1/2 above n")
+	}
+	if p.BirthProb(500) <= 0.5 {
+		t.Fatal("BirthProb must exceed 1/2 below n")
+	}
+}
+
+func TestPoissonNextEmptyAlwaysBirth(t *testing.T) {
+	p := NewPoisson(100)
+	r := rng.New(1)
+	for i := 0; i < 100; i++ {
+		if _, kind := p.Next(r, 0); kind != Birth {
+			t.Fatal("empty population produced a death")
+		}
+	}
+}
+
+func TestPoissonNextWaitMean(t *testing.T) {
+	// With N = n, total rate is 2λ = 2, so mean wait is 1/2.
+	p := NewPoisson(500)
+	r := rng.New(2)
+	sum := 0.0
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		dt, _ := p.Next(r, 500)
+		sum += dt
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean wait %v, want 0.5", mean)
+	}
+}
+
+func TestPoissonEventProbabilitiesLemma46(t *testing.T) {
+	// Lemma 4.6: death probability = Nµ/(Nµ+λ). Check empirically at a
+	// size away from the stationary point.
+	p := NewPoisson(1000)
+	r := rng.New(3)
+	const nAlive, draws = 1500, 200000
+	deaths := 0
+	for i := 0; i < draws; i++ {
+		if _, kind := p.Next(r, nAlive); kind == Death {
+			deaths++
+		}
+	}
+	want := 1.5 / 2.5 // Nµ/(Nµ+λ) with Nµ = 1.5, λ = 1
+	if got := float64(deaths) / draws; math.Abs(got-want) > 0.005 {
+		t.Fatalf("death fraction %v, want %v", got, want)
+	}
+}
+
+func TestNewPoissonPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPoisson(0) did not panic")
+		}
+	}()
+	NewPoisson(0)
+}
+
+func TestStreamingTick(t *testing.T) {
+	s := NewStreaming(3)
+	if s.N() != 3 {
+		t.Fatalf("N = %d", s.N())
+	}
+	// Rounds 1..3 have no deaths; round 4 onward always one death.
+	for i := 0; i < 3; i++ {
+		if s.Tick() {
+			t.Fatalf("death in growth phase round %d", s.Round())
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if !s.Tick() {
+			t.Fatalf("no death in steady state round %d", s.Round())
+		}
+	}
+	if s.Round() != 8 {
+		t.Fatalf("Round = %d", s.Round())
+	}
+}
+
+func TestNewStreamingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewStreaming(0) did not panic")
+		}
+	}()
+	NewStreaming(0)
+}
+
+func TestPopulationGrowsToStationary(t *testing.T) {
+	// Lemma 4.4 shape: after time >= 3n the size is within [0.9n, 1.1n]
+	// w.h.p. Check a single long run stays in band at several checkpoints.
+	const n = 2000
+	p := NewPopulation(n, rng.New(4))
+	p.AdvanceTime(5 * n)
+	for i := 0; i < 10; i++ {
+		p.AdvanceTime(n / 2)
+		size := p.Size()
+		if size < int(0.9*n) || size > int(1.1*n) {
+			t.Fatalf("checkpoint %d: size %d outside [0.9n, 1.1n]", i, size)
+		}
+	}
+}
+
+func TestPopulationBirthDeathBalance(t *testing.T) {
+	const n = 1000
+	p := NewPopulation(n, rng.New(5))
+	p.AdvanceTime(3 * n)
+	base := p.Round()
+	births0 := p.Births()
+	p.StepRounds(200000)
+	frac := float64(p.Births()-births0) / float64(p.Round()-base)
+	// Lemma 4.7: birth fraction within [0.47, 0.53] at stationarity.
+	if frac < 0.47 || frac > 0.53 {
+		t.Fatalf("birth fraction %v outside Lemma 4.7 band", frac)
+	}
+}
+
+func TestPopulationStepAccounting(t *testing.T) {
+	p := NewPopulation(100, rng.New(6))
+	for i := 0; i < 5000; i++ {
+		p.Step()
+	}
+	if p.Round() != 5000 {
+		t.Fatalf("round = %d", p.Round())
+	}
+	if p.Births()-p.Deaths() != p.Size() {
+		t.Fatalf("births %d - deaths %d != size %d", p.Births(), p.Deaths(), p.Size())
+	}
+	if p.Time() <= 0 {
+		t.Fatal("time did not advance")
+	}
+}
+
+func TestPopulationAges(t *testing.T) {
+	p := NewPopulation(500, rng.New(7))
+	p.StepRounds(20000)
+	ages := p.AgesInRounds()
+	if len(ages) != p.Size() {
+		t.Fatalf("ages length %d != size %d", len(ages), p.Size())
+	}
+	maxAge := 0
+	for _, a := range ages {
+		if a < 0 {
+			t.Fatal("negative age")
+		}
+		if a > maxAge {
+			maxAge = a
+		}
+	}
+	if got := p.MaxAgeRounds(); got != maxAge {
+		t.Fatalf("MaxAgeRounds = %d, want %d", got, maxAge)
+	}
+}
+
+func TestPopulationMaxAgeLemma48(t *testing.T) {
+	// Lemma 4.8 shape: w.h.p. no alive node is older than 7·n·ln n rounds.
+	const n = 500
+	p := NewPopulation(n, rng.New(8))
+	p.StepRounds(int(10 * n * math.Log(n)))
+	bound := int(7 * n * math.Log(n))
+	if got := p.MaxAgeRounds(); got > bound {
+		t.Fatalf("max age %d exceeds 7n·ln n = %d", got, bound)
+	}
+}
+
+func TestPopulationAdvanceTimeSetsExactTime(t *testing.T) {
+	p := NewPopulation(100, rng.New(9))
+	p.AdvanceTime(123.5)
+	if math.Abs(p.Time()-123.5) > 1e-9 {
+		t.Fatalf("time = %v", p.Time())
+	}
+	p.AdvanceTime(0.5)
+	if math.Abs(p.Time()-124.0) > 1e-9 {
+		t.Fatalf("time = %v", p.Time())
+	}
+}
+
+func TestPopulationLifetimeMeanIsN(t *testing.T) {
+	// Individual lifetimes are Exp(1/n): mean lifetime n time units.
+	// Track via birth/death flow: in steady state, deaths per unit time
+	// ≈ 1, so size ≈ n. Verify mean size over a long window.
+	const n = 1000
+	p := NewPopulation(n, rng.New(10))
+	p.AdvanceTime(6 * n)
+	sum, samples := 0.0, 0
+	for i := 0; i < 200; i++ {
+		p.AdvanceTime(float64(n) / 20)
+		sum += float64(p.Size())
+		samples++
+	}
+	mean := sum / float64(samples)
+	if math.Abs(mean-n) > 0.05*n {
+		t.Fatalf("mean size %v, want ~%d", mean, n)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if Birth.String() != "birth" || Death.String() != "death" {
+		t.Fatal("EventKind.String wrong")
+	}
+}
+
+func BenchmarkPopulationStep(b *testing.B) {
+	p := NewPopulation(10000, rng.New(1))
+	p.AdvanceTime(30000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step()
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/dyngraph/churnnet/internal/graph"
+	"github.com/dyngraph/churnnet/internal/rng"
+)
+
+// Degenerate-parameter robustness: the models must stay consistent at the
+// smallest sizes where most divisions and samplers degenerate.
+
+func TestStreamingSizeOne(t *testing.T) {
+	// n = 1: every round the only node dies and a new one is born; no
+	// requests can ever be placed.
+	m := NewStreaming(1, 3, true, rng.New(1))
+	for i := 0; i < 50; i++ {
+		m.Step()
+		if m.Graph().NumAlive() != 1 {
+			t.Fatalf("round %d: size %d", i, m.Graph().NumAlive())
+		}
+	}
+	if m.Graph().NumEdgesLive() != 0 {
+		t.Fatal("edges in a single-node network")
+	}
+	if err := m.Graph().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamingSizeTwo(t *testing.T) {
+	// n = 2: every newborn connects all d requests to the single other
+	// node (parallel edges).
+	const d = 4
+	m := NewStreaming(2, d, false, rng.New(2))
+	m.WarmUp()
+	g := m.Graph()
+	if g.NumAlive() != 2 {
+		t.Fatalf("size %d", g.NumAlive())
+	}
+	newest := g.Newest()
+	if got := g.OutDegreeLive(newest); got != d {
+		t.Fatalf("newest out-degree %d", got)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroDegreeModels(t *testing.T) {
+	for _, kind := range Kinds() {
+		m := New(kind, 20, 0, rng.New(3))
+		WarmUp(m)
+		if m.Graph().NumEdgesLive() != 0 {
+			t.Fatalf("%v: edges with d=0", kind)
+		}
+		isolatedAll := true
+		m.Graph().ForEachAlive(func(h graph.Handle) bool {
+			if !m.Graph().IsIsolated(h) {
+				isolatedAll = false
+			}
+			return true
+		})
+		if !isolatedAll {
+			t.Fatalf("%v: non-isolated node with d=0", kind)
+		}
+	}
+}
+
+func TestPoissonTinyN(t *testing.T) {
+	m := NewPoisson(1, 2, true, rng.New(4))
+	m.WarmUpRounds(500)
+	if err := m.Graph().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	m.AdvanceTime(10)
+	if m.Graph().NumAlive() > 20 {
+		t.Fatalf("n=1 population exploded: %d", m.Graph().NumAlive())
+	}
+}
+
+func TestPoissonVariantTinyN(t *testing.T) {
+	for _, policy := range []DegreePolicy{{InCap: 1}, {Choices: 3}} {
+		m := NewPoissonVariant(2, 3, true, policy, rng.New(5))
+		m.WarmUpRounds(400)
+		if err := m.Graph().CheckInvariants(); err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"github.com/dyngraph/churnnet/internal/graph"
+	"github.com/dyngraph/churnnet/internal/rng"
+)
+
+// DegreePolicy modifies how request destinations are drawn, exploring the
+// paper's open question (Section 5): the plain models have Θ(log n)
+// maximum degree, and "finding natural, fully-random topology dynamics
+// that yield bounded-degree snapshots of good expansion properties is a
+// challenging issue".
+//
+// Two natural mechanisms are provided:
+//
+//   - InCap > 0: a hard inbound cap — a request retries (boundedly) until
+//     it finds a node below the cap, like Bitcoin Core's maximum inbound
+//     connection count;
+//   - Choices > 1: power-of-k choices — sample k candidates uniformly and
+//     connect to the one with the smallest current in-degree, which
+//     classically compresses the maximum load to O(log log n).
+//
+// The zero value is the paper's plain uniform draw.
+type DegreePolicy struct {
+	// InCap is the hard inbound-degree cap (0 = none). A draw retries up
+	// to 64 times and then falls back to the last candidate, so the model
+	// stays total even in pathological states.
+	InCap int
+	// Choices samples this many candidates and picks the least-loaded
+	// (0 or 1 = plain uniform).
+	Choices int
+}
+
+// IsPlain reports whether the policy is the paper's uniform draw.
+func (p DegreePolicy) IsPlain() bool { return p.InCap == 0 && p.Choices <= 1 }
+
+// String names the policy for reports.
+func (p DegreePolicy) String() string {
+	switch {
+	case p.IsPlain():
+		return "uniform"
+	case p.Choices > 1 && p.InCap > 0:
+		return "capped+choices"
+	case p.Choices > 1:
+		return "2-choice"
+	default:
+		return "capped"
+	}
+}
+
+// capRetries bounds the rejection loop of the InCap policy.
+const capRetries = 64
+
+// pickTarget draws a destination for a request of src under the policy.
+// It returns Nil only when no other node exists.
+func (m *Poisson) pickTarget(src graph.Handle) graph.Handle {
+	switch {
+	case m.policy.Choices > 1:
+		best := m.g.RandomAliveExcept(m.r, src)
+		if best.IsNil() {
+			return best
+		}
+		bestIn := m.g.InDegreeLive(best)
+		for i := 1; i < m.policy.Choices; i++ {
+			c := m.g.RandomAliveExcept(m.r, src)
+			if in := m.g.InDegreeLive(c); in < bestIn {
+				best, bestIn = c, in
+			}
+		}
+		return best
+	case m.policy.InCap > 0:
+		var last graph.Handle
+		for i := 0; i < capRetries; i++ {
+			c := m.g.RandomAliveExcept(m.r, src)
+			if c.IsNil() {
+				return c
+			}
+			if m.g.InDegreeLive(c) < m.policy.InCap {
+				return c
+			}
+			last = c
+		}
+		return last
+	default:
+		return m.g.RandomAliveExcept(m.r, src)
+	}
+}
+
+// NewPoissonVariant builds a Poisson model whose destination draws follow
+// the given policy; with the zero policy it is exactly NewPoisson.
+func NewPoissonVariant(n, d int, regen bool, policy DegreePolicy, r *rng.RNG) *Poisson {
+	m := NewPoisson(n, d, regen, r)
+	m.policy = policy
+	return m
+}

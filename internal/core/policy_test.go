@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/dyngraph/churnnet/internal/graph"
+	"github.com/dyngraph/churnnet/internal/rng"
+)
+
+func maxInDegree(g *graph.Graph) int {
+	maxIn := 0
+	g.ForEachAlive(func(h graph.Handle) bool {
+		if in := g.InDegreeLive(h); in > maxIn {
+			maxIn = in
+		}
+		return true
+	})
+	return maxIn
+}
+
+func TestDegreePolicyString(t *testing.T) {
+	cases := map[string]DegreePolicy{
+		"uniform":        {},
+		"capped":         {InCap: 20},
+		"2-choice":       {Choices: 2},
+		"capped+choices": {InCap: 20, Choices: 2},
+	}
+	for want, p := range cases {
+		if p.String() != want {
+			t.Errorf("%+v.String() = %q, want %q", p, p.String(), want)
+		}
+	}
+	if !(DegreePolicy{}).IsPlain() || (DegreePolicy{InCap: 1}).IsPlain() {
+		t.Fatal("IsPlain wrong")
+	}
+}
+
+func TestPlainVariantMatchesNewPoisson(t *testing.T) {
+	a := NewPoisson(300, 5, true, rng.New(1))
+	b := NewPoissonVariant(300, 5, true, DegreePolicy{}, rng.New(1))
+	a.WarmUpRounds(3000)
+	b.WarmUpRounds(3000)
+	if a.Graph().NumAlive() != b.Graph().NumAlive() ||
+		a.Graph().NumEdgesLive() != b.Graph().NumEdgesLive() {
+		t.Fatal("zero policy changed the model")
+	}
+}
+
+func TestInCapEnforced(t *testing.T) {
+	const n, d, cap = 600, 10, 25
+	m := NewPoissonVariant(n, d, true, DegreePolicy{InCap: cap}, rng.New(2))
+	m.WarmUpRounds(12 * n)
+	// The cap admits rare overflow (bounded retries), but at this head
+	// room (mean in-degree d = 10 vs cap 25) none should occur.
+	if got := maxInDegree(m.Graph()); got > cap {
+		t.Fatalf("max in-degree %d exceeds cap %d", got, cap)
+	}
+	if err := m.Graph().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoChoiceCompressesMaxDegree(t *testing.T) {
+	const n, d = 2000, 10
+	plain := NewPoisson(n, d, true, rng.New(3))
+	choice := NewPoissonVariant(n, d, true, DegreePolicy{Choices: 2}, rng.New(3))
+	plain.WarmUpRounds(10 * n)
+	choice.WarmUpRounds(10 * n)
+	p, c := maxInDegree(plain.Graph()), maxInDegree(choice.Graph())
+	if c >= p {
+		t.Fatalf("2-choice max in-degree %d not below plain %d", c, p)
+	}
+}
+
+func TestVariantStillFloodsAndExpands(t *testing.T) {
+	// The open-question variant must keep the PDGR guarantees: full
+	// out-degree and no isolated nodes.
+	const n, d = 500, 20
+	m := NewPoissonVariant(n, d, true, DegreePolicy{InCap: 3 * d}, rng.New(4))
+	m.WarmUpRounds(10 * n)
+	g := m.Graph()
+	g.ForEachAlive(func(h graph.Handle) bool {
+		if g.OutDegreeLive(h) != d {
+			t.Fatalf("node %v out-degree %d", h, g.OutDegreeLive(h))
+		}
+		return true
+	})
+}
+
+func TestCapFallbackKeepsModelTotal(t *testing.T) {
+	// A cap below d is structurally impossible to respect (mean in-degree
+	// is d); the bounded-retry fallback must keep the simulation running
+	// rather than livelocking.
+	m := NewPoissonVariant(200, 8, true, DegreePolicy{InCap: 2}, rng.New(5))
+	m.WarmUpRounds(4000)
+	if m.Graph().NumAlive() == 0 {
+		t.Fatal("model died")
+	}
+	if err := m.Graph().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+// Package eventsim provides a minimal deterministic discrete-event
+// simulation kernel: a time-ordered queue of callbacks with stable FIFO
+// ordering among simultaneous events. It drives the message-passing
+// overlay of package overlay, where transmissions have heterogeneous
+// latencies and the unit-step advancement of the core models is not enough.
+package eventsim
+
+import "container/heap"
+
+// Queue is a deterministic event queue. The zero value is ready to use.
+type Queue struct {
+	h   eventHeap
+	now float64
+	seq uint64
+}
+
+type event struct {
+	time float64
+	seq  uint64 // insertion order breaks ties deterministically
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Now returns the current simulation time.
+func (q *Queue) Now() float64 { return q.now }
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return q.h.Len() }
+
+// Schedule enqueues fn to run after delay time units. It panics on a
+// negative delay.
+func (q *Queue) Schedule(delay float64, fn func()) {
+	if delay < 0 {
+		panic("eventsim: negative delay")
+	}
+	q.At(q.now+delay, fn)
+}
+
+// At enqueues fn at an absolute time, which must not be in the past.
+func (q *Queue) At(t float64, fn func()) {
+	if t < q.now {
+		panic("eventsim: scheduling into the past")
+	}
+	heap.Push(&q.h, event{time: t, seq: q.seq, fn: fn})
+	q.seq++
+}
+
+// Step runs the next event, advancing Now to its time. It returns false if
+// the queue is empty.
+func (q *Queue) Step() bool {
+	if q.h.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&q.h).(event)
+	q.now = e.time
+	e.fn()
+	return true
+}
+
+// PeekTime returns the time of the next event and whether one exists.
+func (q *Queue) PeekTime() (float64, bool) {
+	if q.h.Len() == 0 {
+		return 0, false
+	}
+	return q.h[0].time, true
+}
+
+// RunUntil executes every event scheduled at or before t, then sets Now to
+// t. It returns the number of events executed. Events scheduled by running
+// events are honored if they also fall within the horizon.
+func (q *Queue) RunUntil(t float64) int {
+	if t < q.now {
+		panic("eventsim: RunUntil into the past")
+	}
+	n := 0
+	for {
+		next, ok := q.PeekTime()
+		if !ok || next > t {
+			break
+		}
+		q.Step()
+		n++
+	}
+	q.now = t
+	return n
+}
+
+// Drain executes events until the queue is empty or the budget of steps is
+// exhausted; it returns the number executed.
+func (q *Queue) Drain(budget int) int {
+	n := 0
+	for n < budget && q.Step() {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,148 @@
+package eventsim
+
+import (
+	"testing"
+)
+
+func TestScheduleAndStepOrder(t *testing.T) {
+	var q Queue
+	var got []int
+	q.Schedule(3, func() { got = append(got, 3) })
+	q.Schedule(1, func() { got = append(got, 1) })
+	q.Schedule(2, func() { got = append(got, 2) })
+	for q.Step() {
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order %v", got)
+	}
+	if q.Now() != 3 {
+		t.Fatalf("now %v", q.Now())
+	}
+}
+
+func TestTieBreakFIFO(t *testing.T) {
+	var q Queue
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Schedule(1, func() { got = append(got, i) })
+	}
+	for q.Step() {
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("ties not FIFO: %v", got)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var q Queue
+	ran := 0
+	q.Schedule(1, func() { ran++ })
+	q.Schedule(2, func() { ran++ })
+	q.Schedule(5, func() { ran++ })
+	if n := q.RunUntil(2.5); n != 2 || ran != 2 {
+		t.Fatalf("ran %d events (%d calls)", n, ran)
+	}
+	if q.Now() != 2.5 {
+		t.Fatalf("now %v", q.Now())
+	}
+	if q.Len() != 1 {
+		t.Fatalf("pending %d", q.Len())
+	}
+}
+
+func TestEventsScheduleEvents(t *testing.T) {
+	var q Queue
+	var got []float64
+	q.Schedule(1, func() {
+		got = append(got, q.Now())
+		q.Schedule(1, func() { got = append(got, q.Now()) })
+	})
+	q.RunUntil(3)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("cascade %v", got)
+	}
+}
+
+func TestCascadeWithinRunUntilHorizon(t *testing.T) {
+	var q Queue
+	count := 0
+	var reschedule func()
+	reschedule = func() {
+		count++
+		if count < 5 {
+			q.Schedule(0.1, reschedule)
+		}
+	}
+	q.Schedule(0, reschedule)
+	q.RunUntil(1)
+	if count != 5 {
+		t.Fatalf("count %d", count)
+	}
+}
+
+func TestAtAbsolute(t *testing.T) {
+	var q Queue
+	fired := false
+	q.At(7, func() { fired = true })
+	q.RunUntil(7)
+	if !fired {
+		t.Fatal("absolute event not fired")
+	}
+}
+
+func TestPanicsOnPast(t *testing.T) {
+	var q Queue
+	q.Schedule(1, func() {})
+	q.RunUntil(2)
+	for i, f := range []func(){
+		func() { q.At(1, func() {}) },
+		func() { q.Schedule(-1, func() {}) },
+		func() { q.RunUntil(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDrainBudget(t *testing.T) {
+	var q Queue
+	for i := 0; i < 10; i++ {
+		q.Schedule(float64(i), func() {})
+	}
+	if n := q.Drain(4); n != 4 {
+		t.Fatalf("drained %d", n)
+	}
+	if q.Len() != 6 {
+		t.Fatalf("left %d", q.Len())
+	}
+	if n := q.Drain(100); n != 6 {
+		t.Fatalf("second drain %d", n)
+	}
+}
+
+func TestPeekTime(t *testing.T) {
+	var q Queue
+	if _, ok := q.PeekTime(); ok {
+		t.Fatal("peek on empty")
+	}
+	q.Schedule(4, func() {})
+	if tm, ok := q.PeekTime(); !ok || tm != 4 {
+		t.Fatalf("peek %v %v", tm, ok)
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	var q Queue
+	if q.Step() {
+		t.Fatal("step on empty queue")
+	}
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"math"
+
+	"github.com/dyngraph/churnnet/internal/churn"
+	"github.com/dyngraph/churnnet/internal/report"
+	"github.com/dyngraph/churnnet/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "F14",
+		Title:    "Poisson population concentration",
+		PaperRef: "Lemma 4.4",
+		Claim:    "for t ≥ 3n, 0.9n ≤ |N_t| ≤ 1.1n with probability ≥ 1 − 2e^(−√n)",
+		Run:      runPopulation,
+	})
+	register(Experiment{
+		ID:       "F15",
+		Title:    "Jump-chain event probabilities",
+		PaperRef: "Lemmas 4.6 and 4.7",
+		Claim: "each jump is a birth/death with probability in [0.47, 0.53] at stationarity, " +
+			"and a fixed alive node dies in a given round with probability in [1/(2.2n), 1/(1.8n)]",
+		Run: runJumpChain,
+	})
+	register(Experiment{
+		ID:       "F16",
+		Title:    "Maximum node age",
+		PaperRef: "Lemma 4.8",
+		Claim:    "with probability ≥ 1 − 2/n^2.1, every alive node was born within the last 7·n·ln n rounds",
+		Run:      runMaxAge,
+	})
+}
+
+func runPopulation(cfg Config) *report.Table {
+	e, _ := ByID("F14")
+	t := e.newTable("n", "checkpoints", "min |N|/n", "max |N|/n", "in [0.9, 1.1]", "pass")
+
+	ns := cfg.pickInts([]int{500}, []int{1000, 10000}, []int{10000, 100000})
+	checkpoints := cfg.pick(50, 400, 1000)
+
+	for _, n := range ns {
+		p := churn.NewPopulation(n, cfg.rng(uint64(n)))
+		p.AdvanceTime(3 * float64(n))
+		minR, maxR := math.Inf(1), math.Inf(-1)
+		inBand := 0
+		for i := 0; i < checkpoints; i++ {
+			p.AdvanceTime(float64(n) / 50)
+			r := float64(p.Size()) / float64(n)
+			if r < minR {
+				minR = r
+			}
+			if r > maxR {
+				maxR = r
+			}
+			if r >= 0.9 && r <= 1.1 {
+				inBand++
+			}
+		}
+		frac := float64(inBand) / float64(checkpoints)
+		t.AddRow(report.D(n), report.D(checkpoints), report.F2(minR), report.F2(maxR),
+			report.Pct(frac), report.Pass(frac >= 0.99))
+	}
+	t.AddNote("checkpoints every n/50 time units after a 3n warm-up, matching the lemma's t ≥ 3n.")
+	return t
+}
+
+func runJumpChain(cfg Config) *report.Table {
+	e, _ := ByID("F15")
+	t := e.newTable("n", "rounds", "birth fraction", "in [0.47, 0.53]",
+		"per-node death ×n", "in [1/2.2, 1/1.8]")
+
+	ns := cfg.pickInts([]int{500}, []int{1000, 10000}, []int{10000, 50000})
+	rounds := cfg.pick(20000, 300000, 1000000)
+
+	for _, n := range ns {
+		p := churn.NewPopulation(n, cfg.rng(uint64(n)^0xf15))
+		p.StepRounds(10 * n) // warm to stationarity
+		b0, r0 := p.Births(), p.Round()
+		var deathRate stats.Accumulator
+		for i := 0; i < rounds; i++ {
+			sizeBefore := p.Size()
+			if p.Step() == churn.Death {
+				deathRate.Add(1 / float64(sizeBefore))
+			} else {
+				deathRate.Add(0)
+			}
+		}
+		birthFrac := float64(p.Births()-b0) / float64(p.Round()-r0)
+		// deathRate.Mean() estimates P(specific node dies in a round) as
+		// E[1{death}/N]; Lemma 4.7 puts it in [1/(2.2n), 1/(1.8n)].
+		scaled := deathRate.Mean() * float64(n)
+		t.AddRow(report.D(n), report.D(rounds),
+			report.F(birthFrac), report.Pass(birthFrac >= 0.47 && birthFrac <= 0.53),
+			report.F(scaled), report.Pass(scaled >= 1/2.2 && scaled <= 1/1.8))
+	}
+	t.AddNote("per-node death probability estimated as E[1{death}/N] per round, scaled by n.")
+	return t
+}
+
+func runMaxAge(cfg Config) *report.Table {
+	e, _ := ByID("F16")
+	t := e.newTable("n", "trials", "max age (rounds)", "7·n·ln n", "max/bound", "pass")
+
+	ns := cfg.pickInts([]int{300}, []int{500, 2000}, []int{2000, 10000})
+	trials := cfg.pick(2, 6, 10)
+
+	for _, n := range ns {
+		bound := 7 * float64(n) * math.Log(float64(n))
+		worst := 0
+		ok := 0
+		for trial := 0; trial < trials; trial++ {
+			p := churn.NewPopulation(n, cfg.rng(uint64(n)<<8|uint64(trial)))
+			p.StepRounds(int(10 * float64(n) * math.Log(float64(n))))
+			age := p.MaxAgeRounds()
+			if age > worst {
+				worst = age
+			}
+			if float64(age) <= bound {
+				ok++
+			}
+		}
+		t.AddRow(report.D(n), report.D(trials), report.D(worst),
+			report.F2(bound), report.F2(float64(worst)/bound),
+			report.Pass(ok == trials))
+	}
+	t.AddNote("each trial runs the jump chain for 10·n·ln n rounds and checks the oldest " +
+		"alive node; ages concentrate well below the lemma's 7·n·ln n.")
+	return t
+}

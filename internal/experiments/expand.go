@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"math"
+
+	"github.com/dyngraph/churnnet/internal/core"
+	"github.com/dyngraph/churnnet/internal/expansion"
+	"github.com/dyngraph/churnnet/internal/graph"
+	"github.com/dyngraph/churnnet/internal/report"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "F3",
+		Title:    "Large-subset expansion, streaming without regeneration",
+		PaperRef: "Lemma 3.6",
+		Claim:    "for d ≥ 20, every S with n·e^(−d/10) ≤ |S| ≤ n/2 has |∂out(S)|/|S| ≥ 0.1, w.h.p.",
+		Run:      func(cfg Config) *report.Table { return runLargeSetExpansion(cfg, core.SDG, 10) },
+	})
+	register(Experiment{
+		ID:       "F4",
+		Title:    "Large-subset expansion, Poisson without regeneration",
+		PaperRef: "Lemma 4.11",
+		Claim:    "for d ≥ 20, every S with n·e^(−d/20) ≤ |S| ≤ |N|/2 has |∂out(S)|/|S| ≥ 0.1, w.h.p.",
+		Run:      func(cfg Config) *report.Table { return runLargeSetExpansion(cfg, core.PDG, 20) },
+	})
+	register(Experiment{
+		ID:       "F8",
+		Title:    "Vertex expansion with regeneration, streaming",
+		PaperRef: "Theorem 3.15",
+		Claim:    "for d ≥ 14, every snapshot is an ε-expander with ε ≥ 0.1, w.h.p.",
+		Run:      func(cfg Config) *report.Table { return runRegenExpansion(cfg, core.SDGR, []int{14, 21}) },
+	})
+	register(Experiment{
+		ID:       "F9",
+		Title:    "Vertex expansion with regeneration, Poisson",
+		PaperRef: "Theorem 4.16",
+		Claim:    "for d ≥ 35, every snapshot is an ε-expander with ε ≥ 0.1, w.h.p.",
+		Run:      func(cfg Config) *report.Table { return runRegenExpansion(cfg, core.PDGR, []int{35, 40}) },
+	})
+}
+
+func expCfg(cfg Config) expansion.Config {
+	return expansion.Config{
+		SampleTrialsPerSize: cfg.pick(8, 24, 32),
+		BFSSeeds:            cfg.pick(4, 12, 16),
+		GreedySeeds:         cfg.pick(1, 3, 4),
+	}
+}
+
+func runLargeSetExpansion(cfg Config, kind core.Kind, bandDiv float64) *report.Table {
+	e, _ := ByID(map[core.Kind]string{core.SDG: "F3", core.PDG: "F4"}[kind])
+	t := e.newTable("n", "d", "band [lo, n/2]", "min ratio in band", "witness size",
+		"min ratio below band", "pass (band ≥ 0.1)")
+
+	ns := cfg.pickInts([]int{400}, []int{1000, 4000}, []int{4000, 16000})
+	trials := cfg.pick(1, 3, 5)
+
+	for _, n := range ns {
+		for _, d := range []int{20, 30} {
+			bandMin, belowMin := math.Inf(1), math.Inf(1)
+			var bandWitness expansion.Witness
+			lo := 0
+			for trial := 0; trial < trials; trial++ {
+				salt := uint64(uint8(kind))<<40 | uint64(n)<<10 | uint64(d)<<4 | uint64(trial)
+				m := warm(kind, n, d, cfg.rng(salt))
+				g := m.Graph()
+				alive := g.NumAlive()
+				lo = int(math.Ceil(float64(n) * math.Exp(-float64(d)/bandDiv)))
+				p := expansion.Estimate(g, cfg.rng(salt^0xaaaa), expCfg(cfg))
+				if v, w := p.MinInRange(lo, alive/2); v < bandMin {
+					bandMin, bandWitness = v, w
+				}
+				if v, _ := p.MinInRange(1, lo-1); v < belowMin {
+					belowMin = v
+				}
+			}
+			t.AddRow(report.D(n), report.D(d),
+				"["+report.D(lo)+", n/2]",
+				report.F2(bandMin), report.D(bandWitness.Size),
+				report.F2(belowMin), report.Pass(bandMin >= 0.1))
+		}
+	}
+	t.AddNote("min ratios are the best witnesses found by the search (upper bounds on the "+
+		"band minimum); %d snapshots per row. Below the band the lemma promises nothing — at "+
+		"these d values e^(−2d)·n < 1, so no isolated nodes exist and small sets happen to "+
+		"expand even better; the zero-ratio small-set witnesses appear at constant d "+
+		"(see T1 and F1/F2).", trials)
+	return t
+}
+
+func runRegenExpansion(cfg Config, kind core.Kind, ds []int) *report.Table {
+	e, _ := ByID(map[core.Kind]string{core.SDGR: "F8", core.PDGR: "F9"}[kind])
+	t := e.newTable("n", "d", "min ratio (any size)", "witness size", "min degree",
+		"spectral gap", "pass (≥ 0.1)")
+
+	ns := cfg.pickInts([]int{400}, []int{1000, 4000}, []int{4000, 16000})
+	trials := cfg.pick(1, 3, 5)
+
+	for _, n := range ns {
+		for _, d := range ds {
+			minRatio := math.Inf(1)
+			var witness expansion.Witness
+			minDeg := math.MaxInt
+			minGap := math.Inf(1)
+			for trial := 0; trial < trials; trial++ {
+				salt := uint64(uint8(kind))<<40 | uint64(n)<<10 | uint64(d)<<4 | uint64(trial)
+				m := warm(kind, n, d, cfg.rng(salt))
+				g := m.Graph()
+				p := expansion.Estimate(g, cfg.rng(salt^0xbbbb), expCfg(cfg))
+				if v, w := p.Min(); v < minRatio {
+					minRatio, witness = v, w
+				}
+				if gap := expansion.SpectralGap(g, 60, cfg.rng(salt^0xeeee)); gap < minGap {
+					minGap = gap
+				}
+				g.ForEachAlive(func(h graph.Handle) bool {
+					if dd := g.DegreeLive(h); dd < minDeg {
+						minDeg = dd
+					}
+					return true
+				})
+			}
+			t.AddRow(report.D(n), report.D(d),
+				report.F2(minRatio), report.D(witness.Size), report.D(minDeg),
+				report.F2(minGap), report.Pass(minRatio >= 0.1))
+		}
+	}
+	t.AddNote("regeneration pins every node's out-degree at d, so no isolated witnesses exist; "+
+		"%d snapshots per row. The spectral gap (1 − λ₂ of the lazy walk) is a witness-free "+
+		"cross-check: a constant gap certifies expansion independently of the search.", trials)
+	return t
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dyngraph/churnnet/internal/flood"
+)
+
+func smokeCfg() Config { return Config{Scale: Smoke, Seed: 7} }
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"T1", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9",
+		"F10", "F11", "F12", "F13", "F14", "F15", "F16", "F17", "F18", "F19", "F20",
+		"F21", "F22", "F23", "F24"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Fatalf("position %d: %s, want %s", i, all[i].ID, id)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, ok := ByID("F5")
+	if !ok || e.ID != "F5" {
+		t.Fatal("ByID(F5) failed")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID(nope) must fail")
+	}
+}
+
+func TestEveryExperimentMetadata(t *testing.T) {
+	for _, e := range All() {
+		if e.Title == "" || e.PaperRef == "" || e.Claim == "" || e.Run == nil {
+			t.Errorf("%s: incomplete metadata", e.ID)
+		}
+	}
+}
+
+// TestEveryExperimentSmoke runs the full suite at smoke scale and checks the
+// tables are well-formed. This is the integration test of the whole
+// pipeline: models, flooding, expansion, analysis, churn, onion, report.
+func TestEveryExperimentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite smoke run skipped in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab := e.Run(smokeCfg())
+			if tab == nil {
+				t.Fatal("nil table")
+			}
+			if tab.ID != e.ID {
+				t.Fatalf("table ID %q", tab.ID)
+			}
+			if len(tab.Columns) == 0 || len(tab.Rows) == 0 {
+				t.Fatalf("empty table: %d cols, %d rows", len(tab.Columns), len(tab.Rows))
+			}
+			for _, row := range tab.Rows {
+				if len(row) > len(tab.Columns) {
+					t.Fatalf("row wider than header: %v", row)
+				}
+				for _, cell := range row {
+					if cell == "" {
+						t.Fatalf("empty cell in row %v", row)
+					}
+				}
+			}
+			// Markdown must render without panicking and contain the ref.
+			md := tab.Markdown()
+			if !strings.Contains(md, e.PaperRef) {
+				t.Fatalf("markdown missing paper ref %q", e.PaperRef)
+			}
+		})
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("determinism run skipped in -short mode")
+	}
+	e, _ := ByID("F16")
+	a := e.Run(smokeCfg())
+	b := e.Run(smokeCfg())
+	if a.Markdown() != b.Markdown() {
+		t.Fatal("same seed produced different tables")
+	}
+	c := e.Run(Config{Scale: Smoke, Seed: 8})
+	if a.Markdown() == c.Markdown() {
+		t.Fatal("different seeds produced identical tables (suspicious)")
+	}
+}
+
+func TestScaleParsing(t *testing.T) {
+	for _, s := range []Scale{Smoke, Standard, Paper} {
+		got, err := ParseScale(s.String())
+		if err != nil || got != s {
+			t.Fatalf("round trip %v failed", s)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Fatal("ParseScale(huge) must fail")
+	}
+	if Scale(9).String() == "" {
+		t.Fatal("unknown scale string")
+	}
+}
+
+func TestRunAllSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite skipped in -short mode")
+	}
+	rep := RunAll(smokeCfg())
+	if len(rep.Tables) != len(All()) {
+		t.Fatalf("report has %d tables", len(rep.Tables))
+	}
+	md := rep.Markdown()
+	if !strings.Contains(md, "churnnet") || !strings.Contains(md, "### T1") {
+		t.Fatal("report markdown malformed")
+	}
+}
+
+func TestConfigPick(t *testing.T) {
+	c := Config{Scale: Smoke}
+	if c.pick(1, 2, 3) != 1 {
+		t.Fatal("smoke pick")
+	}
+	c.Scale = Standard
+	if c.pick(1, 2, 3) != 2 {
+		t.Fatal("standard pick")
+	}
+	c.Scale = Paper
+	if c.pick(1, 2, 3) != 3 {
+		t.Fatal("paper pick")
+	}
+	if got := c.pickInts([]int{1}, []int{2}, []int{3}); got[0] != 3 {
+		t.Fatal("pickInts")
+	}
+}
+
+func TestRoundsToFraction(t *testing.T) {
+	res := floodResult([]int{1, 5, 9, 10}, []int{10, 10, 10, 10})
+	if got := roundsToFraction(res, 0.9); got != 2 {
+		t.Fatalf("roundsToFraction = %d", got)
+	}
+	if got := roundsToFraction(res, 1.01); got != -1 {
+		t.Fatalf("unreachable target = %d", got)
+	}
+}
+
+func TestSafeKL(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	q := []float64{1, 0} // zero entry gets floored, not a panic
+	if kl := safeKL(p, q); kl <= 0 {
+		t.Fatalf("safeKL = %v", kl)
+	}
+}
+
+func TestIlog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 1, 4: 2, 1024: 10}
+	for n, want := range cases {
+		if got := ilog2(n); got != want {
+			t.Fatalf("ilog2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// floodResult builds a minimal trajectory-bearing result for helpers.
+func floodResult(informed, alive []int) flood.Result {
+	return flood.Result{Informed: informed, Alive: alive}
+}

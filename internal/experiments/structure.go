@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"math"
+
+	"github.com/dyngraph/churnnet/internal/analysis"
+	"github.com/dyngraph/churnnet/internal/core"
+	"github.com/dyngraph/churnnet/internal/report"
+	"github.com/dyngraph/churnnet/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "F12",
+		Title:    "Degree structure of the models",
+		PaperRef: "Lemma 6.1, Section 5 remark",
+		Claim: "in SDG every node has expected degree d (so nd/2 expected edges); maximum " +
+			"degree grows as O(log n); regeneration pins live out-degree at exactly d",
+		Run: runDegrees,
+	})
+	register(Experiment{
+		ID:       "F13",
+		Title:    "Edge-destination age bias",
+		PaperRef: "Lemmas 3.14 and 4.15",
+		Claim: "a request targets a fixed older node with probability at most " +
+			"(1/(n−1))(1+1/(n−1))^k (streaming) or (1/0.8n)(1+i/1.7n) (Poisson): regeneration " +
+			"lets in-edges accumulate with age while staying within these per-request factors",
+		Run: runAgeBias,
+	})
+	register(Experiment{
+		ID:       "F20",
+		Title:    "Age demographics of the Poisson model",
+		PaperRef: "Theorem 4.16 proof (age-profile device), Lemma 4.8",
+		Claim: "alive-node ages decay geometrically across n/2-wide slices (factor e^(−1/2) " +
+			"per slice), which is what makes the union bound over demographics work",
+		Run: runDemographics,
+	})
+}
+
+func runDegrees(cfg Config) *report.Table {
+	e, _ := ByID("F12")
+	t := e.newTable("model", "n", "d", "mean degree", "mean out (live)", "mean in",
+		"max degree", "max/ln n", "isolated")
+
+	ns := cfg.pickInts([]int{500}, []int{1000, 4000, 16000}, []int{4000, 16000, 64000})
+	const d = 10
+	trials := cfg.pick(1, 4, 6)
+
+	var xs, ys []float64
+	for _, kind := range []core.Kind{core.SDG, core.SDGR} {
+		for _, n := range ns {
+			var mean, meanOut, meanIn, maxDeg stats.Accumulator
+			isolated := 0
+			for trial := 0; trial < trials; trial++ {
+				m := warm(kind, n, d, cfg.rng(uint64(uint8(kind))<<20|uint64(n)<<3|uint64(trial)))
+				ds := analysis.Degrees(m.Graph())
+				mean.Add(ds.Mean)
+				meanOut.Add(ds.MeanOut)
+				meanIn.Add(ds.MeanIn)
+				maxDeg.Add(float64(ds.Max))
+				isolated += ds.Isolated
+			}
+			t.AddRow(kind.String(), report.D(n), report.D(d),
+				report.F2(mean.Mean()), report.F2(meanOut.Mean()), report.F2(meanIn.Mean()),
+				report.F2(maxDeg.Mean()), report.F2(maxDeg.Mean()/math.Log(float64(n))),
+				report.D(isolated/trials))
+			if kind == core.SDGR {
+				xs = append(xs, float64(n))
+				ys = append(ys, maxDeg.Mean())
+			}
+		}
+	}
+	if len(xs) >= 3 {
+		fit := stats.LogFit(xs, ys)
+		t.AddNote("SDGR max degree fits %.2f + %.2f·ln n (R² = %.2f): the O(log n) bound of "+
+			"the Section 5 remark.", fit.A, fit.B, fit.R2)
+	}
+	t.AddNote("Lemma 6.1 check: SDG mean degree ≈ d = %d. In SDG the live out-degree decays "+
+		"with age (mean ≈ d·(n+1)/(2n)), while SDGR keeps it exactly d.", d)
+	return t
+}
+
+func runAgeBias(cfg Config) *report.Table {
+	e, _ := ByID("F13")
+	const buckets = 10
+	cols := []string{"model", "n", "d"}
+	for i := 0; i < buckets; i++ {
+		if i == 0 {
+			cols = append(cols, "in-deg oldest 10%")
+		} else if i == buckets-1 {
+			cols = append(cols, "youngest 10%")
+		} else {
+			cols = append(cols, report.D(i+1))
+		}
+	}
+	cols = append(cols, "out-deg oldest", "out-deg youngest")
+	t := e.newTable(cols...)
+
+	n := cfg.pick(500, 4000, 16000)
+	const d = 10
+	for _, kind := range core.Kinds() {
+		m := warm(kind, n, d, cfg.rng(uint64(uint8(kind))<<22|uint64(n)))
+		in := analysis.InDegreeByAgeQuantile(m.Graph(), buckets)
+		out := analysis.OutDegreeByAgeQuantile(m.Graph(), buckets)
+		row := []string{kind.String(), report.D(n), report.D(d)}
+		for _, v := range in {
+			row = append(row, report.F2(v))
+		}
+		row = append(row, report.F2(out[0]), report.F2(out[buckets-1]))
+		t.AddRow(row...)
+	}
+	t.AddNote("mean live in-degree per age decile, oldest first. In-edges accumulate with age " +
+		"in every model (arrival rate ≈ d/n per round without regeneration, ≈ 2d/n with); " +
+		"out-degree decays with age exactly in the no-regeneration models and stays d with " +
+		"regeneration — the observable face of the Lemma 3.14/4.15 destination laws.")
+	return t
+}
+
+func runDemographics(cfg Config) *report.Table {
+	e, _ := ByID("F20")
+	t := e.newTable("slice (age/(n/2))", "count", "fraction", "geometric e^(−1/2) model")
+
+	n := cfg.pick(1000, 4000, 16000)
+	m := warm(core.PDGR, n, 20, cfg.rng(0xdead))
+	profile := analysis.AgeProfile(m.Graph(), m.Now(), float64(n)/2)
+
+	total := 0
+	for _, c := range profile {
+		total += c
+	}
+	// Geometric reference distribution over the same number of slices.
+	q := make([]float64, len(profile))
+	p := make([]float64, len(profile))
+	geomNorm := 0.0
+	for i := range q {
+		q[i] = math.Exp(-0.5 * float64(i))
+		geomNorm += q[i]
+	}
+	for i := range q {
+		q[i] /= geomNorm
+		p[i] = float64(profile[i]) / float64(total)
+	}
+	maxShow := len(profile)
+	if maxShow > 10 {
+		maxShow = 10
+	}
+	for i := 0; i < maxShow; i++ {
+		t.AddRow(report.D(i), report.D(profile[i]), report.Pct(p[i]), report.Pct(q[i]))
+	}
+	if len(profile) > maxShow {
+		rest := 0
+		for _, c := range profile[maxShow:] {
+			rest += c
+		}
+		t.AddRow("≥ "+report.D(maxShow), report.D(rest), report.Pct(float64(rest)/float64(total)), "…")
+	}
+	decay := analysis.GeometricDecayRate(profile, 20)
+	t.AddNote("measured per-slice decay %.3f vs e^(−1/2) = %.3f.", decay, math.Exp(-0.5))
+	if kl := safeKL(p, q); !math.IsNaN(kl) {
+		t.AddNote("KL(measured ‖ geometric) = %.4f bits — the demographic concentration the "+
+			"Theorem 4.16 union bound relies on.", kl)
+	}
+	oldest := analysis.OldestAge(m.Graph(), m.Now())
+	bound := 3.5 * float64(n) * math.Log(float64(n)) // 7·n·ln n rounds ≈ 3.5·n·ln n time units
+	t.AddNote("oldest alive node age %.0f time units; Lemma 4.8 bound 7n·ln n rounds ≈ %.0f "+
+		"time units — %s.", oldest, bound, report.Pass(oldest <= bound))
+	return t
+}
+
+// safeKL computes KL divergence tolerating zero q-entries by flooring them
+// (measurement vectors can have empty tail slices).
+func safeKL(p, q []float64) float64 {
+	const floor = 1e-12
+	qs := make([]float64, len(q))
+	copy(qs, q)
+	for i := range qs {
+		if qs[i] < floor {
+			qs[i] = floor
+		}
+	}
+	return stats.KLDivergence(stats.Normalize(p), stats.Normalize(qs))
+}

@@ -1,0 +1,260 @@
+// Package flood implements the paper's information-diffusion processes over
+// the dynamic models of package core:
+//
+//   - Definition 3.3 (streaming flooding): I_t = (I_{t−1} ∪ ∂out(I_{t−1})) ∩ N_t;
+//   - Definition 4.3 ("discretized" flooding, Poisson models): a neighbor is
+//     informed only if it was adjacent to an informed node for the *whole*
+//     unit interval, i.e. both endpoints survive the interval;
+//   - Definition 4.2 ("asynchronous" flooding): the sender need not survive
+//     the interval, and every ever-informed node that is still alive stays
+//     informed.
+//
+// All three share one mechanism: capture the (sender, receiver) candidate
+// pairs in the snapshot at time t−1, advance the model one transmission
+// unit, then admit the receivers that pass the mode's survival conditions.
+// For streaming models, where at most one node enters or leaves per round,
+// this coincides exactly with Definition 3.3; for Poisson models it is
+// Definition 4.3 (Discretized) or 4.2 (Asynchronous).
+//
+// Completion follows Definition 3.3: the broadcast is complete at round t
+// when I_t ⊇ N_{t−1} ∩ N_t, i.e. every alive node that was already present
+// at the start of the round is informed. StrictlyComplete additionally
+// requires I_t ⊇ N_t (nodes born mid-round included), which in Poisson
+// models can only hold in rounds with no births.
+package flood
+
+import (
+	"math/bits"
+
+	"github.com/dyngraph/churnnet/internal/core"
+	"github.com/dyngraph/churnnet/internal/graph"
+)
+
+// Mode selects the flooding semantics for models with churn.
+type Mode uint8
+
+// The flooding variants of Definitions 4.3 and 4.2. For streaming models
+// the two coincide (at most one death per round makes the sender-survival
+// distinction immaterial only in expectation, so the mode still applies;
+// Definition 3.3 corresponds to Asynchronous semantics where the edge
+// existed in snapshot G_{t−1}).
+const (
+	// Discretized requires the sender to survive the whole interval
+	// (Definition 4.3) — the worst case used by the paper's upper bounds.
+	Discretized Mode = iota
+	// Asynchronous admits a receiver as soon as the edge existed in the
+	// previous snapshot (Definitions 3.3 and 4.2).
+	Asynchronous
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Asynchronous {
+		return "asynchronous"
+	}
+	return "discretized"
+}
+
+// Options configures a flooding run.
+type Options struct {
+	// Source is the initially informed node; Nil selects the model's most
+	// recently born node (the paper's convention for t0).
+	Source graph.Handle
+	// Mode selects Discretized (default) or Asynchronous semantics.
+	Mode Mode
+	// MaxRounds caps the run; 0 selects DefaultMaxRounds(model.N()).
+	MaxRounds int
+	// KeepTrajectory records per-round informed/alive counts.
+	KeepTrajectory bool
+	// RunToMax keeps flooding after completion (useful when measuring
+	// strict completion or re-flooding of newborns).
+	RunToMax bool
+}
+
+// DefaultMaxRounds returns the default round cap for a network of nominal
+// size n: generous against the paper's O(log n) completion results while
+// still detecting non-completion quickly.
+func DefaultMaxRounds(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return 40*bits.Len(uint(n)) + 60
+}
+
+// Result reports a flooding run.
+type Result struct {
+	// Source is the node the broadcast started from.
+	Source graph.Handle
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// Completed reports whether some round had every pre-round node
+	// informed (Definition 3.3 completion); CompletionRound is the first
+	// such round (-1 if never).
+	Completed       bool
+	CompletionRound int
+	// StrictlyCompleted reports I_t ⊇ N_t at some round; its first round
+	// is StrictCompletionRound (-1 if never).
+	StrictlyCompleted     bool
+	StrictCompletionRound int
+	// DiedOut reports that no informed node remained alive; DiedOutRound
+	// is the first such round (-1 if never). A died-out broadcast can
+	// never complete afterwards.
+	DiedOut      bool
+	DiedOutRound int
+	// PeakInformed is the maximum number of simultaneously alive informed
+	// nodes over the run; PeakFraction divides by the concurrent alive
+	// count.
+	PeakInformed int
+	PeakFraction float64
+	// FinalInformed and FinalAlive describe the last executed round.
+	FinalInformed, FinalAlive int
+	// EverInformed counts every node that was informed at least once.
+	EverInformed int
+	// Informed and Alive are per-round trajectories (index 0 = state at
+	// start, before the first transmission), present only when
+	// Options.KeepTrajectory is set.
+	Informed, Alive []int
+}
+
+// FinalFraction returns FinalInformed/FinalAlive (0 when the network is
+// empty).
+func (r *Result) FinalFraction() float64 {
+	if r.FinalAlive == 0 {
+		return 0
+	}
+	return float64(r.FinalInformed) / float64(r.FinalAlive)
+}
+
+type pair struct {
+	sender, receiver graph.Handle
+}
+
+// Run floods over m per opts and returns the outcome. It panics if no
+// source node is available (empty network and Nil source).
+func Run(m core.Model, opts Options) Result {
+	g := m.Graph()
+	src := opts.Source
+	if src.IsNil() {
+		src = m.LastBorn()
+	}
+	if !g.IsAlive(src) {
+		panic("flood: source is not an alive node")
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds(m.N())
+	}
+
+	res := Result{
+		Source:                src,
+		CompletionRound:       -1,
+		StrictCompletionRound: -1,
+		DiedOutRound:          -1,
+		PeakInformed:          1,
+		EverInformed:          1,
+	}
+	alive0 := g.NumAlive()
+	if alive0 > 0 {
+		res.PeakFraction = 1 / float64(alive0)
+	}
+	if opts.KeepTrajectory {
+		res.Informed = append(res.Informed, 1)
+		res.Alive = append(res.Alive, alive0)
+	}
+
+	var informedSet graph.Marks
+	informedSet.Mark(src)
+	informedList := []graph.Handle{src}
+	var candidates []pair
+
+	for round := 1; round <= maxRounds; round++ {
+		// Capture candidate transmissions in the current snapshot. Every
+		// informed node is scanned (not only the latest frontier) because
+		// churn keeps attaching new edges to long-informed nodes.
+		candidates = candidates[:0]
+		w := 0
+		for _, u := range informedList {
+			if !g.IsAlive(u) {
+				continue
+			}
+			informedList[w] = u
+			w++
+			g.Neighbors(u, func(v graph.Handle) bool {
+				if !informedSet.Has(v) {
+					candidates = append(candidates, pair{sender: u, receiver: v})
+				}
+				return true
+			})
+		}
+		informedList = informedList[:w]
+
+		roundStartSeq := g.NextBirthSeq()
+		m.AdvanceRound()
+		res.Rounds = round
+
+		for _, p := range candidates {
+			if !g.IsAlive(p.receiver) {
+				continue
+			}
+			if opts.Mode == Discretized && !g.IsAlive(p.sender) {
+				continue
+			}
+			if informedSet.Mark(p.receiver) {
+				informedList = append(informedList, p.receiver)
+				res.EverInformed++
+			}
+		}
+
+		// Round accounting over the new snapshot.
+		informedAlive := 0
+		required, requiredInformed := 0, 0
+		strict := true
+		g.ForEachAlive(func(h graph.Handle) bool {
+			inf := informedSet.Has(h)
+			if inf {
+				informedAlive++
+			} else {
+				strict = false
+			}
+			if g.BirthSeq(h) < roundStartSeq {
+				required++
+				if inf {
+					requiredInformed++
+				}
+			}
+			return true
+		})
+		alive := g.NumAlive()
+		if opts.KeepTrajectory {
+			res.Informed = append(res.Informed, informedAlive)
+			res.Alive = append(res.Alive, alive)
+		}
+		if informedAlive > res.PeakInformed {
+			res.PeakInformed = informedAlive
+		}
+		if alive > 0 {
+			if f := float64(informedAlive) / float64(alive); f > res.PeakFraction {
+				res.PeakFraction = f
+			}
+		}
+		res.FinalInformed, res.FinalAlive = informedAlive, alive
+
+		if requiredInformed == required && !res.Completed {
+			res.Completed = true
+			res.CompletionRound = round
+		}
+		if strict && !res.StrictlyCompleted {
+			res.StrictlyCompleted = true
+			res.StrictCompletionRound = round
+		}
+		if informedAlive == 0 {
+			res.DiedOut = true
+			res.DiedOutRound = round
+			break // absorbing: nobody is left to transmit
+		}
+		if res.Completed && !opts.RunToMax {
+			break
+		}
+	}
+	return res
+}

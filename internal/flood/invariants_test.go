@@ -1,0 +1,107 @@
+package flood
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/dyngraph/churnnet/internal/core"
+	"github.com/dyngraph/churnnet/internal/rng"
+)
+
+// deterministicRand pins testing/quick's input generation (its default is
+// time-seeded).
+func deterministicRand() *rand.Rand { return rand.New(rand.NewSource(7)) }
+
+// TestResultInvariantsQuick drives flooding over randomized model
+// configurations and checks the structural invariants every Result must
+// satisfy, regardless of model, mode or outcome.
+func TestResultInvariantsQuick(t *testing.T) {
+	kinds := core.Kinds()
+	f := func(seed uint64, kindRaw, nRaw, dRaw uint8, async, runToMax bool) bool {
+		kind := kinds[int(kindRaw)%len(kinds)]
+		n := 30 + int(nRaw)%200
+		d := int(dRaw) % 12
+		mode := Discretized
+		if async {
+			mode = Asynchronous
+		}
+		m := core.New(kind, n, d, rng.New(seed))
+		core.WarmUp(m)
+		for !m.Graph().IsAlive(m.LastBorn()) {
+			m.AdvanceRound() // Poisson warm-up can leave the newest node dead
+		}
+		res := Run(m, Options{
+			Source:         m.LastBorn(),
+			Mode:           mode,
+			MaxRounds:      25,
+			KeepTrajectory: true,
+			RunToMax:       runToMax,
+		})
+		return checkInvariants(t, res)
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: deterministicRand()}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func checkInvariants(t *testing.T, res Result) bool {
+	t.Helper()
+	ok := true
+	fail := func(format string, args ...any) {
+		t.Logf(format, args...)
+		ok = false
+	}
+	if res.Rounds < 1 || res.Rounds > 25 {
+		fail("rounds %d out of range", res.Rounds)
+	}
+	if len(res.Informed) != res.Rounds+1 || len(res.Alive) != res.Rounds+1 {
+		fail("trajectory length %d/%d vs rounds %d", len(res.Informed), len(res.Alive), res.Rounds)
+	}
+	if res.Informed[0] != 1 {
+		fail("initial informed %d", res.Informed[0])
+	}
+	peak := 0
+	for i, inf := range res.Informed {
+		if inf < 0 || inf > res.Alive[i] {
+			fail("round %d: informed %d vs alive %d", i, inf, res.Alive[i])
+		}
+		if inf > peak {
+			peak = inf
+		}
+	}
+	if res.PeakInformed != peak {
+		fail("peak %d, trajectory max %d", res.PeakInformed, peak)
+	}
+	if res.EverInformed < res.PeakInformed {
+		fail("ever %d < peak %d", res.EverInformed, res.PeakInformed)
+	}
+	if res.FinalInformed != res.Informed[len(res.Informed)-1] {
+		fail("final informed mismatch")
+	}
+	if res.Completed != (res.CompletionRound >= 0) {
+		fail("completion flag/round inconsistent: %v %d", res.Completed, res.CompletionRound)
+	}
+	if res.StrictlyCompleted && !res.Completed {
+		fail("strict completion without completion")
+	}
+	if res.StrictlyCompleted && res.StrictCompletionRound < res.CompletionRound {
+		fail("strict completion before completion")
+	}
+	if res.DiedOut {
+		if res.DiedOutRound != res.Rounds {
+			fail("die-out must end the run: %d vs %d", res.DiedOutRound, res.Rounds)
+		}
+		if res.FinalInformed != 0 {
+			fail("died out with %d informed", res.FinalInformed)
+		}
+	}
+	if res.PeakFraction < 0 || res.PeakFraction > 1 {
+		fail("peak fraction %v", res.PeakFraction)
+	}
+	if res.Source.IsNil() {
+		fail("nil source")
+	}
+	return ok
+}

@@ -1,0 +1,171 @@
+package flood
+
+import (
+	"testing"
+
+	"github.com/dyngraph/churnnet/internal/core"
+	"github.com/dyngraph/churnnet/internal/graph"
+	"github.com/dyngraph/churnnet/internal/rng"
+)
+
+// oracle is an independent, deliberately naive implementation of the
+// flooding definitions: it snapshots the full adjacency into maps before
+// every round and recomputes informed sets from scratch. Differential
+// testing against Run catches any bookkeeping error in the optimized
+// engine (stale marks, missed in-edges, survival conditions).
+type oracle struct {
+	informed map[graph.Handle]bool
+}
+
+func newOracle(src graph.Handle) *oracle {
+	return &oracle{informed: map[graph.Handle]bool{src: true}}
+}
+
+// snapshotAdjacency captures every (alive node -> alive neighbors) pair.
+func snapshotAdjacency(g *graph.Graph) map[graph.Handle][]graph.Handle {
+	adj := map[graph.Handle][]graph.Handle{}
+	g.ForEachAlive(func(u graph.Handle) bool {
+		var ns []graph.Handle
+		g.Neighbors(u, func(v graph.Handle) bool {
+			ns = append(ns, v)
+			return true
+		})
+		adj[u] = ns
+		return true
+	})
+	return adj
+}
+
+// step applies one flooding round per Definition 3.3 / 4.3 given the
+// pre-advance adjacency and the post-advance liveness.
+func (o *oracle) step(adj map[graph.Handle][]graph.Handle, g *graph.Graph, mode Mode) {
+	next := map[graph.Handle]bool{}
+	for u := range o.informed {
+		if g.IsAlive(u) {
+			next[u] = true
+		}
+	}
+	for u, ns := range adj {
+		if !o.informed[u] {
+			continue
+		}
+		if mode == Discretized && !g.IsAlive(u) {
+			continue
+		}
+		for _, v := range ns {
+			if g.IsAlive(v) {
+				next[v] = true
+			}
+		}
+	}
+	// Asynchronous semantics also keep ever-informed alive nodes — which
+	// is exactly what the survivor rule above already does.
+	o.informed = next
+}
+
+func (o *oracle) countAlive(g *graph.Graph) int {
+	n := 0
+	for h := range o.informed {
+		if g.IsAlive(h) {
+			n++
+		}
+	}
+	return n
+}
+
+func runOracle(m core.Model, src graph.Handle, rounds int, mode Mode) []int {
+	o := newOracle(src)
+	g := m.Graph()
+	counts := []int{1}
+	for r := 0; r < rounds; r++ {
+		adj := snapshotAdjacency(g)
+		m.AdvanceRound()
+		o.step(adj, g, mode)
+		counts = append(counts, o.countAlive(g))
+	}
+	return counts
+}
+
+func TestRunMatchesOracle(t *testing.T) {
+	cases := []struct {
+		kind core.Kind
+		n, d int
+		mode Mode
+	}{
+		{core.SDG, 200, 3, Discretized},
+		{core.SDG, 200, 3, Asynchronous},
+		{core.SDGR, 150, 6, Discretized},
+		{core.PDG, 200, 4, Discretized},
+		{core.PDG, 200, 4, Asynchronous},
+		{core.PDGR, 150, 8, Discretized},
+		{core.PDGR, 150, 8, Asynchronous},
+	}
+	const rounds = 12
+	for _, c := range cases {
+		c := c
+		name := c.kind.String() + "-" + c.mode.String()
+		t.Run(name, func(t *testing.T) {
+			for seed := uint64(0); seed < 3; seed++ {
+				// Two identically seeded models: one for the engine, one
+				// for the oracle; their churn streams are identical.
+				mEngine := core.New(c.kind, c.n, c.d, rng.New(seed))
+				mOracle := core.New(c.kind, c.n, c.d, rng.New(seed))
+				core.WarmUp(mEngine)
+				core.WarmUp(mOracle)
+				src := mEngine.LastBorn()
+				srcO := mOracle.LastBorn()
+				if src.Slot != srcO.Slot || src.Gen != srcO.Gen {
+					t.Fatal("models diverged before flooding")
+				}
+				res := Run(mEngine, Options{
+					Source: src, Mode: c.mode, MaxRounds: rounds,
+					KeepTrajectory: true, RunToMax: true,
+				})
+				want := runOracle(mOracle, srcO, rounds, c.mode)
+				// The engine stops as soon as the broadcast dies out; the
+				// oracle keeps counting zeros. Prefixes must match exactly
+				// and any early stop must be a genuine die-out.
+				if len(res.Informed) < len(want) {
+					if !res.DiedOut {
+						t.Fatalf("seed %d: engine stopped early without dying out", seed)
+					}
+					for _, c := range want[len(res.Informed):] {
+						if c != 0 {
+							t.Fatalf("seed %d: engine died out but oracle counts %v", seed, want)
+						}
+					}
+					want = want[:len(res.Informed)]
+				}
+				if len(res.Informed) != len(want) {
+					t.Fatalf("seed %d: trajectory lengths %d vs %d", seed, len(res.Informed), len(want))
+				}
+				for i := range want {
+					if res.Informed[i] != want[i] {
+						t.Fatalf("seed %d round %d: engine %d, oracle %d\nengine %v\noracle %v",
+							seed, i, res.Informed[i], want[i], res.Informed, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestOracleCompletionAgrees(t *testing.T) {
+	// Completion flag cross-check on a regenerating model.
+	mEngine := core.New(core.SDGR, 300, 21, rng.New(9))
+	mOracle := core.New(core.SDGR, 300, 21, rng.New(9))
+	core.WarmUp(mEngine)
+	core.WarmUp(mOracle)
+	src := mEngine.LastBorn()
+	res := Run(mEngine, Options{Source: src, KeepTrajectory: true})
+	counts := runOracle(mOracle, mOracle.LastBorn(), res.Rounds, Discretized)
+	final := counts[len(counts)-1]
+	// At the engine's completion round the oracle must also have informed
+	// every pre-round node; sizes agree exactly on streaming models.
+	if final != res.FinalInformed {
+		t.Fatalf("final informed: engine %d, oracle %d", res.FinalInformed, final)
+	}
+	if !res.Completed {
+		t.Fatal("engine did not complete")
+	}
+}

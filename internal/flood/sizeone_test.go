@@ -1,0 +1,24 @@
+package flood
+
+import (
+	"testing"
+
+	"github.com/dyngraph/churnnet/internal/core"
+	"github.com/dyngraph/churnnet/internal/rng"
+)
+
+func TestSizeOneNetworkVacuousCompletion(t *testing.T) {
+	// n = 1 streaming: the source is the only node and dies next round.
+	// Definition 3.3's completion condition I_t ⊇ N_{t−1} ∩ N_t is
+	// vacuously true once the intersection is empty; the run also dies
+	// out. Both flags must be set consistently rather than panicking.
+	m := core.NewStreaming(1, 2, false, rng.New(1))
+	m.WarmUp()
+	res := Run(m, Options{MaxRounds: 5})
+	if !res.DiedOut {
+		t.Fatalf("expected die-out: %+v", res)
+	}
+	if res.Completed && res.CompletionRound > res.DiedOutRound {
+		t.Fatalf("inconsistent rounds: %+v", res)
+	}
+}

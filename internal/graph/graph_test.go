@@ -1,0 +1,647 @@
+package graph
+
+import (
+	"testing"
+
+	"github.com/dyngraph/churnnet/internal/rng"
+)
+
+func mustInvariants(t *testing.T, g *Graph) {
+	t.Helper()
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatalf("invariants violated: %v", err)
+	}
+}
+
+func TestAddNodeBasics(t *testing.T) {
+	g := New(4, 2)
+	if g.NumAlive() != 0 {
+		t.Fatal("fresh graph not empty")
+	}
+	a := g.AddNode(1)
+	b := g.AddNode(2)
+	if !g.IsAlive(a) || !g.IsAlive(b) {
+		t.Fatal("new nodes must be alive")
+	}
+	if g.NumAlive() != 2 {
+		t.Fatalf("NumAlive = %d", g.NumAlive())
+	}
+	if a == b {
+		t.Fatal("handles must differ")
+	}
+	if g.BirthTime(a) != 1 || g.BirthTime(b) != 2 {
+		t.Fatal("birth times wrong")
+	}
+	if !g.Older(a, b) || g.Older(b, a) {
+		t.Fatal("age order wrong")
+	}
+	mustInvariants(t, g)
+}
+
+func TestNilHandle(t *testing.T) {
+	g := New(0, 0)
+	if g.IsAlive(Nil) {
+		t.Fatal("Nil must not be alive")
+	}
+	if !Nil.IsNil() {
+		t.Fatal("Nil.IsNil() false")
+	}
+	if Nil.String() != "nil" {
+		t.Fatalf("Nil.String() = %q", Nil.String())
+	}
+	h := g.AddNode(0)
+	if h.IsNil() {
+		t.Fatal("real handle reported nil")
+	}
+}
+
+func TestRemoveNodeInvalidates(t *testing.T) {
+	g := New(2, 1)
+	a := g.AddNode(0)
+	g.RemoveNode(a, nil)
+	if g.IsAlive(a) {
+		t.Fatal("removed node still alive")
+	}
+	if g.NumAlive() != 0 {
+		t.Fatal("NumAlive after removal")
+	}
+	mustInvariants(t, g)
+}
+
+func TestSlotReuseBumpsGeneration(t *testing.T) {
+	g := New(1, 1)
+	a := g.AddNode(0)
+	g.RemoveNode(a, nil)
+	b := g.AddNode(1)
+	if b.Slot != a.Slot {
+		t.Fatalf("expected slot reuse, got %v then %v", a, b)
+	}
+	if b.Gen == a.Gen {
+		t.Fatal("generation not bumped on reuse")
+	}
+	if g.IsAlive(a) {
+		t.Fatal("stale handle alive after reuse")
+	}
+	if !g.IsAlive(b) {
+		t.Fatal("new handle not alive")
+	}
+}
+
+func TestRemoveNodePanicsOnDead(t *testing.T) {
+	g := New(1, 1)
+	a := g.AddNode(0)
+	g.RemoveNode(a, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double remove did not panic")
+		}
+	}()
+	g.RemoveNode(a, nil)
+}
+
+func TestAddOutEdgeSymmetry(t *testing.T) {
+	g := New(3, 2)
+	u, v := g.AddNode(0), g.AddNode(1)
+	idx := g.AddOutEdge(u, v)
+	if idx != 0 {
+		t.Fatalf("first out slot = %d", idx)
+	}
+	var outs, ins []Handle
+	g.OutTargets(u, func(h Handle) bool { outs = append(outs, h); return true })
+	g.InSources(v, func(h Handle) bool { ins = append(ins, h); return true })
+	if len(outs) != 1 || outs[0] != v {
+		t.Fatalf("OutTargets(u) = %v", outs)
+	}
+	if len(ins) != 1 || ins[0] != u {
+		t.Fatalf("InSources(v) = %v", ins)
+	}
+	if g.OutDegreeLive(u) != 1 || g.InDegreeLive(v) != 1 {
+		t.Fatal("degrees wrong")
+	}
+	if g.DegreeLive(u) != 1 || g.DegreeLive(v) != 1 {
+		t.Fatal("DegreeLive wrong")
+	}
+	mustInvariants(t, g)
+}
+
+func TestParallelEdgesKept(t *testing.T) {
+	g := New(2, 2)
+	u, v := g.AddNode(0), g.AddNode(1)
+	g.AddOutEdge(u, v)
+	g.AddOutEdge(u, v)
+	if d := g.OutDegreeLive(u); d != 2 {
+		t.Fatalf("parallel out-degree = %d", d)
+	}
+	if d := g.InDegreeLive(v); d != 2 {
+		t.Fatalf("parallel in-degree = %d", d)
+	}
+	count := 0
+	g.Neighbors(u, func(h Handle) bool { count++; return true })
+	if count != 2 {
+		t.Fatalf("Neighbors yielded %d, want duplicate", count)
+	}
+	mustInvariants(t, g)
+}
+
+func TestDeadTargetSkipped(t *testing.T) {
+	g := New(3, 1)
+	u, v := g.AddNode(0), g.AddNode(1)
+	g.AddOutEdge(u, v)
+	g.RemoveNode(v, nil)
+	if d := g.OutDegreeLive(u); d != 0 {
+		t.Fatalf("out-degree after target death = %d", d)
+	}
+	if !g.IsIsolated(u) {
+		t.Fatal("u should be isolated")
+	}
+	// The stale out-slot is retained (no-regeneration semantics).
+	if n := g.OutSlotCount(u); n != 1 {
+		t.Fatalf("OutSlotCount = %d", n)
+	}
+	if tgt, ok := g.OutTarget(u, 0); !ok || g.IsAlive(tgt) {
+		t.Fatal("stale target should be reported dead")
+	}
+	mustInvariants(t, g)
+}
+
+func TestDeadSourceSkippedAndCompacted(t *testing.T) {
+	g := New(3, 1)
+	u, v, w := g.AddNode(0), g.AddNode(1), g.AddNode(2)
+	g.AddOutEdge(u, w)
+	g.AddOutEdge(v, w)
+	g.RemoveNode(u, nil)
+	if d := g.InDegreeLive(w); d != 1 {
+		t.Fatalf("in-degree after source death = %d", d)
+	}
+	// InSources compacts: internal in-list should now hold only v's ref.
+	if n := len(g.nodes[w.Slot].in); n != 1 {
+		t.Fatalf("in-list not compacted: %d entries", n)
+	}
+	mustInvariants(t, g)
+}
+
+func TestRemoveNodeReturnsLiveInEdges(t *testing.T) {
+	g := New(4, 1)
+	a, b, c := g.AddNode(0), g.AddNode(1), g.AddNode(2)
+	target := g.AddNode(3)
+	g.AddOutEdge(a, target)
+	g.AddOutEdge(b, target)
+	g.AddOutEdge(c, target)
+	g.RemoveNode(b, nil) // b's edge must not be reported
+	got := g.RemoveNode(target, nil)
+	if len(got) != 2 {
+		t.Fatalf("live in-edges = %v", got)
+	}
+	seen := map[Handle]int{}
+	for _, e := range got {
+		seen[e.Src]++
+		if e.Slot != 0 {
+			t.Fatalf("unexpected slot %d", e.Slot)
+		}
+	}
+	if seen[a] != 1 || seen[c] != 1 {
+		t.Fatalf("wrong sources: %v", got)
+	}
+	mustInvariants(t, g)
+}
+
+func TestRemoveNodeAppendsToBuf(t *testing.T) {
+	g := New(3, 1)
+	u, v := g.AddNode(0), g.AddNode(1)
+	g.AddOutEdge(u, v)
+	buf := make([]InEdge, 0, 4)
+	buf = append(buf, InEdge{}) // pre-existing sentinel
+	buf = g.RemoveNode(v, buf)
+	if len(buf) != 2 {
+		t.Fatalf("buf = %v", buf)
+	}
+}
+
+func TestRedirectOutEdge(t *testing.T) {
+	g := New(4, 1)
+	u, v, w := g.AddNode(0), g.AddNode(1), g.AddNode(2)
+	g.AddOutEdge(u, v)
+	orphans := g.RemoveNode(v, nil)
+	if len(orphans) != 1 || orphans[0].Src != u {
+		t.Fatalf("orphans = %v", orphans)
+	}
+	g.RedirectOutEdge(u, orphans[0].Slot, w)
+	if d := g.OutDegreeLive(u); d != 1 {
+		t.Fatalf("out-degree after redirect = %d", d)
+	}
+	if d := g.InDegreeLive(w); d != 1 {
+		t.Fatalf("w in-degree = %d", d)
+	}
+	mustInvariants(t, g)
+}
+
+func TestRedirectPanicsOverLiveEdge(t *testing.T) {
+	g := New(3, 1)
+	u, v, w := g.AddNode(0), g.AddNode(1), g.AddNode(2)
+	g.AddOutEdge(u, v)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("redirect over live edge did not panic")
+		}
+	}()
+	g.RedirectOutEdge(u, 0, w)
+}
+
+func TestStaleInRefAfterSlotReuse(t *testing.T) {
+	// u points at v; v dies; v's slot is reused by x. u's stale out-slot
+	// must NOT count as an edge to x, and x must not list u as a source.
+	g := New(3, 1)
+	u := g.AddNode(0)
+	v := g.AddNode(1)
+	g.AddOutEdge(u, v)
+	g.RemoveNode(v, nil)
+	x := g.AddNode(2)
+	if x.Slot != v.Slot {
+		t.Skip("allocator did not reuse slot; test assumption broken")
+	}
+	if d := g.OutDegreeLive(u); d != 0 {
+		t.Fatalf("stale edge resurrected: out-degree %d", d)
+	}
+	if d := g.InDegreeLive(x); d != 0 {
+		t.Fatalf("reused slot inherited in-edges: %d", d)
+	}
+	mustInvariants(t, g)
+}
+
+func TestRedirectedAwayInRefInvalid(t *testing.T) {
+	// u -> v, v dies, u redirected to w. If v's slot is reused by x, the
+	// old in-ref in that slot was cleared on death; but also check the
+	// subtler case: u -> v, then u's slot entry redirected; w's in-list
+	// validity requires out[slot] to point back.
+	g := New(4, 1)
+	u, v, w := g.AddNode(0), g.AddNode(1), g.AddNode(2)
+	g.AddOutEdge(u, v)
+	g.RemoveNode(v, nil)
+	g.RedirectOutEdge(u, 0, w)
+	// Now kill w; the returned orphan must be u's slot 0.
+	orphans := g.RemoveNode(w, nil)
+	if len(orphans) != 1 || orphans[0].Src != u || orphans[0].Slot != 0 {
+		t.Fatalf("orphans = %v", orphans)
+	}
+	mustInvariants(t, g)
+}
+
+func TestNeighborsEarlyStop(t *testing.T) {
+	g := New(4, 3)
+	u := g.AddNode(0)
+	for i := 0; i < 3; i++ {
+		v := g.AddNode(float64(i + 1))
+		g.AddOutEdge(u, v)
+	}
+	count := 0
+	g.Neighbors(u, func(Handle) bool { count++; return count < 2 })
+	if count != 2 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestNeighborsCoverInAndOut(t *testing.T) {
+	g := New(3, 1)
+	u, v, w := g.AddNode(0), g.AddNode(1), g.AddNode(2)
+	g.AddOutEdge(u, v) // v's in
+	g.AddOutEdge(v, w) // v's out
+	var ns []Handle
+	g.Neighbors(v, func(h Handle) bool { ns = append(ns, h); return true })
+	if len(ns) != 2 {
+		t.Fatalf("neighbors of v = %v", ns)
+	}
+	if !(ns[0] == w && ns[1] == u) { // out targets first, then in sources
+		t.Fatalf("unexpected order/content: %v", ns)
+	}
+}
+
+func TestForEachAliveAndAliveHandles(t *testing.T) {
+	g := New(5, 1)
+	var hs []Handle
+	for i := 0; i < 5; i++ {
+		hs = append(hs, g.AddNode(float64(i)))
+	}
+	g.RemoveNode(hs[2], nil)
+	all := g.AliveHandles()
+	if len(all) != 4 {
+		t.Fatalf("AliveHandles len = %d", len(all))
+	}
+	for _, h := range all {
+		if !g.IsAlive(h) {
+			t.Fatalf("dead handle in AliveHandles: %v", h)
+		}
+	}
+	n := 0
+	g.ForEachAlive(func(Handle) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Fatal("ForEachAlive early stop broken")
+	}
+}
+
+func TestRandomAliveEmpty(t *testing.T) {
+	g := New(0, 0)
+	r := rng.New(1)
+	if h := g.RandomAlive(r); !h.IsNil() {
+		t.Fatal("RandomAlive on empty graph must be Nil")
+	}
+	if h := g.RandomAliveExcept(r, Nil); !h.IsNil() {
+		t.Fatal("RandomAliveExcept on empty graph must be Nil")
+	}
+}
+
+func TestRandomAliveExceptSingleton(t *testing.T) {
+	g := New(1, 0)
+	r := rng.New(2)
+	a := g.AddNode(0)
+	if h := g.RandomAliveExcept(r, a); !h.IsNil() {
+		t.Fatal("no other node exists; want Nil")
+	}
+	if h := g.RandomAlive(r); h != a {
+		t.Fatal("RandomAlive must return the only node")
+	}
+}
+
+func TestRandomAliveExceptNeverReturnsExcluded(t *testing.T) {
+	g := New(10, 0)
+	r := rng.New(3)
+	var hs []Handle
+	for i := 0; i < 10; i++ {
+		hs = append(hs, g.AddNode(float64(i)))
+	}
+	excl := hs[4]
+	for i := 0; i < 5000; i++ {
+		if got := g.RandomAliveExcept(r, excl); got == excl {
+			t.Fatal("excluded handle returned")
+		} else if !g.IsAlive(got) {
+			t.Fatal("dead handle returned")
+		}
+	}
+}
+
+func TestRandomAliveExceptUniform(t *testing.T) {
+	g := New(5, 0)
+	r := rng.New(4)
+	var hs []Handle
+	for i := 0; i < 5; i++ {
+		hs = append(hs, g.AddNode(float64(i)))
+	}
+	counts := map[Handle]int{}
+	const draws = 40000
+	for i := 0; i < draws; i++ {
+		counts[g.RandomAliveExcept(r, hs[0])]++
+	}
+	want := float64(draws) / 4
+	for h, c := range counts {
+		if h == hs[0] {
+			t.Fatal("excluded drawn")
+		}
+		if diff := float64(c) - want; diff > 0.05*want || diff < -0.05*want {
+			t.Fatalf("non-uniform draw: %v", counts)
+		}
+	}
+}
+
+func TestRandomAliveExceptDeadExclusion(t *testing.T) {
+	g := New(3, 0)
+	r := rng.New(5)
+	a, b := g.AddNode(0), g.AddNode(1)
+	g.RemoveNode(a, nil)
+	// Excluding a dead handle behaves like no exclusion.
+	for i := 0; i < 100; i++ {
+		if got := g.RandomAliveExcept(r, a); got != b {
+			t.Fatalf("got %v, want %v", got, b)
+		}
+	}
+}
+
+func TestOldestNewest(t *testing.T) {
+	g := New(4, 0)
+	a := g.AddNode(0)
+	b := g.AddNode(1)
+	c := g.AddNode(2)
+	if g.Oldest() != a || g.Newest() != c {
+		t.Fatal("oldest/newest wrong")
+	}
+	g.RemoveNode(a, nil)
+	if g.Oldest() != b {
+		t.Fatal("oldest after removal wrong")
+	}
+	empty := New(0, 0)
+	if !empty.Oldest().IsNil() || !empty.Newest().IsNil() {
+		t.Fatal("oldest/newest of empty graph must be Nil")
+	}
+}
+
+func TestNumEdgesLive(t *testing.T) {
+	g := New(4, 2)
+	u, v, w := g.AddNode(0), g.AddNode(1), g.AddNode(2)
+	g.AddOutEdge(u, v)
+	g.AddOutEdge(u, w)
+	g.AddOutEdge(v, w)
+	if n := g.NumEdgesLive(); n != 3 {
+		t.Fatalf("NumEdgesLive = %d", n)
+	}
+	g.RemoveNode(w, nil)
+	if n := g.NumEdgesLive(); n != 1 {
+		t.Fatalf("NumEdgesLive after removal = %d", n)
+	}
+}
+
+func TestBirthSeqMonotone(t *testing.T) {
+	g := New(3, 0)
+	a := g.AddNode(0)
+	g.RemoveNode(a, nil)
+	b := g.AddNode(1) // reuses slot, must still get a later birth seq
+	c := g.AddNode(2)
+	if !(g.BirthSeq(b) < g.BirthSeq(c)) {
+		t.Fatal("birth sequence not monotone")
+	}
+}
+
+// --- randomized model-like workload property test ---
+
+func TestRandomWorkloadInvariants(t *testing.T) {
+	r := rng.New(42)
+	g := New(64, 3)
+	var live []Handle
+	const d = 3
+	for step := 0; step < 4000; step++ {
+		switch {
+		case len(live) < 2 || r.Float64() < 0.55:
+			h := g.AddNode(float64(step))
+			for i := 0; i < d; i++ {
+				if tgt := g.RandomAliveExcept(r, h); !tgt.IsNil() {
+					g.AddOutEdge(h, tgt)
+				}
+			}
+			live = append(live, h)
+		default:
+			i := r.Intn(len(live))
+			victim := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			orphans := g.RemoveNode(victim, nil)
+			// Regenerate half the time, exercising both model families.
+			if r.Bool() {
+				for _, e := range orphans {
+					if tgt := g.RandomAliveExcept(r, e.Src); !tgt.IsNil() {
+						g.RedirectOutEdge(e.Src, e.Slot, tgt)
+					}
+				}
+			}
+		}
+		if step%257 == 0 {
+			mustInvariants(t, g)
+		}
+	}
+	mustInvariants(t, g)
+	if g.NumAlive() != len(live) {
+		t.Fatalf("NumAlive=%d, tracked %d", g.NumAlive(), len(live))
+	}
+}
+
+func TestRandomAliveUniformOverChurn(t *testing.T) {
+	// After heavy churn, RandomAlive must still be uniform over survivors.
+	r := rng.New(7)
+	g := New(32, 0)
+	var live []Handle
+	for i := 0; i < 100; i++ {
+		live = append(live, g.AddNode(float64(i)))
+	}
+	for i := 0; i < 80; i++ {
+		j := r.Intn(len(live))
+		g.RemoveNode(live[j], nil)
+		live[j] = live[len(live)-1]
+		live = live[:len(live)-1]
+	}
+	counts := map[Handle]int{}
+	const draws = 60000
+	for i := 0; i < draws; i++ {
+		counts[g.RandomAlive(r)]++
+	}
+	want := float64(draws) / float64(len(live))
+	for _, h := range live {
+		c := float64(counts[h])
+		if c < 0.9*want || c > 1.1*want {
+			t.Fatalf("biased sampling: node %v drawn %v times, want ~%v", h, c, want)
+		}
+	}
+}
+
+// --- Marks ---
+
+func TestMarksBasics(t *testing.T) {
+	g := New(3, 0)
+	a, b := g.AddNode(0), g.AddNode(1)
+	var m Marks
+	if m.Has(a) {
+		t.Fatal("fresh marks not empty")
+	}
+	if !m.Mark(a) {
+		t.Fatal("first Mark must report new")
+	}
+	if m.Mark(a) {
+		t.Fatal("second Mark must report existing")
+	}
+	if !m.Has(a) || m.Has(b) {
+		t.Fatal("Has wrong")
+	}
+	m.Reset()
+	if m.Has(a) {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestMarksGenerationAware(t *testing.T) {
+	g := New(1, 0)
+	a := g.AddNode(0)
+	var m Marks
+	m.Mark(a)
+	g.RemoveNode(a, nil)
+	b := g.AddNode(1) // same slot, new generation
+	if m.Has(b) {
+		t.Fatal("mark leaked across generations")
+	}
+}
+
+func TestMarksUnmark(t *testing.T) {
+	g := New(1, 0)
+	a := g.AddNode(0)
+	var m Marks
+	m.Mark(a)
+	m.Unmark(a)
+	if m.Has(a) {
+		t.Fatal("Unmark failed")
+	}
+	m.Unmark(Handle{Slot: 999, Gen: 3}) // out of range: no panic
+}
+
+func TestMarksNil(t *testing.T) {
+	var m Marks
+	if m.Mark(Nil) {
+		t.Fatal("marking Nil must be a no-op")
+	}
+	if m.Has(Nil) {
+		t.Fatal("Nil must never be marked")
+	}
+}
+
+func TestMarksManyResets(t *testing.T) {
+	g := New(2, 0)
+	a := g.AddNode(0)
+	var m Marks
+	for i := 0; i < 1000; i++ {
+		if m.Has(a) {
+			t.Fatal("stale mark after reset")
+		}
+		m.Mark(a)
+		if !m.Has(a) {
+			t.Fatal("mark lost")
+		}
+		m.Reset()
+	}
+}
+
+func BenchmarkAddRemoveNode(b *testing.B) {
+	g := New(1024, 3)
+	r := rng.New(1)
+	var live []Handle
+	for i := 0; i < 1024; i++ {
+		live = append(live, g.AddNode(float64(i)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := g.AddNode(float64(i))
+		for j := 0; j < 3; j++ {
+			if tgt := g.RandomAliveExcept(r, h); !tgt.IsNil() {
+				g.AddOutEdge(h, tgt)
+			}
+		}
+		live = append(live, h)
+		victim := r.Intn(len(live))
+		g.RemoveNode(live[victim], nil)
+		live[victim] = live[len(live)-1]
+		live = live[:len(live)-1]
+	}
+}
+
+func BenchmarkNeighborsIteration(b *testing.B) {
+	g := New(1024, 8)
+	r := rng.New(1)
+	var live []Handle
+	for i := 0; i < 1024; i++ {
+		h := g.AddNode(float64(i))
+		for j := 0; j < 8; j++ {
+			if tgt := g.RandomAliveExcept(r, h); !tgt.IsNil() {
+				g.AddOutEdge(h, tgt)
+			}
+		}
+		live = append(live, h)
+	}
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		g.Neighbors(live[i%len(live)], func(Handle) bool { sink++; return true })
+	}
+	_ = sink
+}

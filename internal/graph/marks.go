@@ -1,0 +1,61 @@
+package graph
+
+// Marks is a reusable per-slot set of handles with O(1) clear, used by
+// flooding and expansion code to deduplicate multigraph neighborhoods
+// without allocating per query. A mark remembers the generation it was set
+// for, so a slot reused by a later node never inherits a mark.
+//
+// The zero value is ready to use.
+type Marks struct {
+	epoch []uint64
+	gen   []uint32
+	cur   uint64
+}
+
+// Reset clears all marks in O(1).
+func (m *Marks) Reset() { m.cur++ }
+
+// Mark adds h to the set and reports whether it was newly added. Marking
+// Nil is a no-op that returns false.
+func (m *Marks) Mark(h Handle) bool {
+	if h.IsNil() {
+		return false
+	}
+	m.grow(int(h.Slot) + 1)
+	if m.epoch[h.Slot] == m.cur+1 && m.gen[h.Slot] == h.Gen {
+		return false
+	}
+	m.epoch[h.Slot] = m.cur + 1
+	m.gen[h.Slot] = h.Gen
+	return true
+}
+
+// Has reports whether h is in the set.
+func (m *Marks) Has(h Handle) bool {
+	if h.IsNil() || int(h.Slot) >= len(m.epoch) {
+		return false
+	}
+	return m.epoch[h.Slot] == m.cur+1 && m.gen[h.Slot] == h.Gen
+}
+
+// Unmark removes h from the set.
+func (m *Marks) Unmark(h Handle) {
+	if h.IsNil() || int(h.Slot) >= len(m.epoch) {
+		return
+	}
+	if m.gen[h.Slot] == h.Gen {
+		m.epoch[h.Slot] = 0
+	}
+}
+
+func (m *Marks) grow(n int) {
+	if n <= len(m.epoch) {
+		return
+	}
+	ne := make([]uint64, n*2)
+	copy(ne, m.epoch)
+	m.epoch = ne
+	ng := make([]uint32, n*2)
+	copy(ng, m.gen)
+	m.gen = ng
+}

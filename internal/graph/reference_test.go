@@ -1,0 +1,211 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/dyngraph/churnnet/internal/rng"
+)
+
+// refGraph is a deliberately naive reference implementation of the same
+// semantics: nodes keyed by unique ids, out-edges as (owner, slot, target)
+// triples, eager cleanup on death. Long random operation scripts are run
+// against both implementations and every observable is compared.
+type refGraph struct {
+	nextID int
+	alive  map[int]bool
+	birth  map[int]int
+	out    map[int][]int // owner -> slot-indexed targets (-1 = dead target)
+}
+
+func newRefGraph() *refGraph {
+	return &refGraph{alive: map[int]bool{}, birth: map[int]int{}, out: map[int][]int{}}
+}
+
+func (r *refGraph) addNode() int {
+	id := r.nextID
+	r.nextID++
+	r.alive[id] = true
+	r.birth[id] = id
+	return id
+}
+
+func (r *refGraph) addEdge(u, v int) int {
+	r.out[u] = append(r.out[u], v)
+	return len(r.out[u]) - 1
+}
+
+func (r *refGraph) redirect(u, slot, v int) { r.out[u][slot] = v }
+
+// remove kills id and returns the live in-edges (owner, slot) it had.
+func (r *refGraph) remove(id int) [][2]int {
+	var orphans [][2]int
+	for u, targets := range r.out {
+		if !r.alive[u] {
+			continue
+		}
+		for slot, v := range targets {
+			if v == id {
+				orphans = append(orphans, [2]int{u, slot})
+			}
+		}
+	}
+	delete(r.alive, id)
+	delete(r.out, id)
+	sort.Slice(orphans, func(i, j int) bool {
+		if orphans[i][0] != orphans[j][0] {
+			return orphans[i][0] < orphans[j][0]
+		}
+		return orphans[i][1] < orphans[j][1]
+	})
+	return orphans
+}
+
+func (r *refGraph) neighbors(id int) map[int]int {
+	ns := map[int]int{}
+	for _, v := range r.out[id] {
+		if r.alive[v] {
+			ns[v]++
+		}
+	}
+	for u, targets := range r.out {
+		if !r.alive[u] {
+			continue
+		}
+		for _, v := range targets {
+			if v == id {
+				ns[u]++
+			}
+		}
+	}
+	return ns
+}
+
+// TestGraphMatchesReference drives both implementations through the same
+// random script and compares degrees, neighborhoods, orphan lists and
+// counts after every operation batch.
+func TestGraphMatchesReference(t *testing.T) {
+	r := rng.New(2024)
+	g := New(64, 3)
+	ref := newRefGraph()
+
+	// id <-> handle correspondence for alive nodes.
+	toHandle := map[int]Handle{}
+	toID := map[Handle]int{}
+	var ids []int // alive ids, for uniform choices
+
+	addNode := func() {
+		h := g.AddNode(float64(len(ids)))
+		id := ref.addNode()
+		toHandle[id] = h
+		toID[h] = id
+		ids = append(ids, id)
+	}
+	removeID := func(i int) {
+		id := ids[i]
+		ids[i] = ids[len(ids)-1]
+		ids = ids[:len(ids)-1]
+		h := toHandle[id]
+
+		gotOrphans := g.RemoveNode(h, nil)
+		wantOrphans := ref.remove(id)
+		if len(gotOrphans) != len(wantOrphans) {
+			t.Fatalf("orphan count %d != %d", len(gotOrphans), len(wantOrphans))
+		}
+		got := make([][2]int, len(gotOrphans))
+		for k, e := range gotOrphans {
+			got[k] = [2]int{toID[e.Src], e.Slot}
+		}
+		sort.Slice(got, func(a, b int) bool {
+			if got[a][0] != got[b][0] {
+				return got[a][0] < got[b][0]
+			}
+			return got[a][1] < got[b][1]
+		})
+		for k := range got {
+			if got[k] != wantOrphans[k] {
+				t.Fatalf("orphans diverge: %v vs %v", got, wantOrphans)
+			}
+		}
+		// Half the time, regenerate the orphaned slots identically —
+		// iterating the canonical (sorted) order on both sides so the two
+		// graphs apply the same redirects.
+		if r.Bool() && len(ids) > 1 {
+			for _, e := range got {
+				srcID, slot := e[0], e[1]
+				tgtID := ids[r.Intn(len(ids))]
+				for tgtID == srcID {
+					tgtID = ids[r.Intn(len(ids))]
+				}
+				g.RedirectOutEdge(toHandle[srcID], slot, toHandle[tgtID])
+				ref.redirect(srcID, slot, tgtID)
+			}
+		}
+		delete(toHandle, id)
+		delete(toID, h)
+	}
+	addEdge := func() {
+		if len(ids) < 2 {
+			return
+		}
+		u := ids[r.Intn(len(ids))]
+		v := ids[r.Intn(len(ids))]
+		for v == u {
+			v = ids[r.Intn(len(ids))]
+		}
+		gotSlot := g.AddOutEdge(toHandle[u], toHandle[v])
+		wantSlot := ref.addEdge(u, v)
+		if gotSlot != wantSlot {
+			t.Fatalf("slot index %d != %d", gotSlot, wantSlot)
+		}
+	}
+	check := func() {
+		if g.NumAlive() != len(ref.alive) {
+			t.Fatalf("alive %d != %d", g.NumAlive(), len(ref.alive))
+		}
+		for id, h := range toHandle {
+			if !g.IsAlive(h) {
+				t.Fatalf("node %d should be alive", id)
+			}
+			want := ref.neighbors(id)
+			got := map[int]int{}
+			g.Neighbors(h, func(v Handle) bool {
+				got[toID[v]]++
+				return true
+			})
+			if len(got) != len(want) {
+				t.Fatalf("node %d: neighbor sets differ: %v vs %v", id, got, want)
+			}
+			for v, c := range want {
+				if got[v] != c {
+					t.Fatalf("node %d: multiplicity of %d: %d vs %d", id, v, got[v], c)
+				}
+			}
+			wantDeg := 0
+			for _, c := range want {
+				wantDeg += c
+			}
+			if d := g.DegreeLive(h); d != wantDeg {
+				t.Fatalf("node %d: degree %d vs %d", id, d, wantDeg)
+			}
+		}
+		if err := g.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for step := 0; step < 3000; step++ {
+		switch {
+		case len(ids) < 3 || r.Float64() < 0.4:
+			addNode()
+		case r.Float64() < 0.55:
+			addEdge()
+		default:
+			removeID(r.Intn(len(ids)))
+		}
+		if step%101 == 0 {
+			check()
+		}
+	}
+	check()
+}

@@ -1,0 +1,141 @@
+// Package graphio serializes graph snapshots: Graphviz DOT for
+// visualization, and a plain edge-list format that round-trips through
+// ReadEdgeList so that interesting snapshots (a witness set's
+// neighborhood, a stalled broadcast's topology) can be saved and reloaded.
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/dyngraph/churnnet/internal/graph"
+)
+
+// stableIDs assigns dense integer IDs to alive nodes in birth order, so
+// output is deterministic and ages are recoverable (smaller ID = older).
+func stableIDs(g *graph.Graph) ([]graph.Handle, map[graph.Handle]int) {
+	hs := g.AliveHandles()
+	sort.Slice(hs, func(i, j int) bool { return g.BirthSeq(hs[i]) < g.BirthSeq(hs[j]) })
+	ids := make(map[graph.Handle]int, len(hs))
+	for i, h := range hs {
+		ids[h] = i
+	}
+	return hs, ids
+}
+
+// WriteDOT renders the alive graph as an undirected Graphviz graph. Nodes
+// are labeled by birth order (0 = oldest); parallel request edges are
+// merged.
+func WriteDOT(w io.Writer, g *graph.Graph, name string) error {
+	if name == "" {
+		name = "churnnet"
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "graph %q {\n", name)
+	hs, ids := stableIDs(g)
+	var seen graph.Marks
+	for _, h := range hs {
+		fmt.Fprintf(bw, "  %d;\n", ids[h])
+	}
+	for _, h := range hs {
+		seen.Reset()
+		u := ids[h]
+		g.Neighbors(h, func(v graph.Handle) bool {
+			if !seen.Mark(v) {
+				return true
+			}
+			if ids[v] > u { // emit each undirected edge once
+				fmt.Fprintf(bw, "  %d -- %d;\n", u, ids[v])
+			}
+			return true
+		})
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// WriteEdgeList emits the snapshot as lines:
+//
+//	n <aliveCount>
+//	e <src> <dst>        (one per live request edge, parallel edges kept)
+//
+// IDs are birth-ordered (0 = oldest).
+func WriteEdgeList(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	hs, ids := stableIDs(g)
+	fmt.Fprintf(bw, "n %d\n", len(hs))
+	for _, h := range hs {
+		u := ids[h]
+		g.OutTargets(h, func(v graph.Handle) bool {
+			fmt.Fprintf(bw, "e %d %d\n", u, ids[v])
+			return true
+		})
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the WriteEdgeList format and rebuilds the snapshot
+// as a static graph whose birth order matches the IDs. Handles are
+// returned in ID order.
+func ReadEdgeList(r io.Reader) (*graph.Graph, []graph.Handle, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var g *graph.Graph
+	var hs []graph.Handle
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "n":
+			if g != nil {
+				return nil, nil, fmt.Errorf("graphio: line %d: duplicate n header", line)
+			}
+			if len(fields) != 2 {
+				return nil, nil, fmt.Errorf("graphio: line %d: malformed n header", line)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, nil, fmt.Errorf("graphio: line %d: bad node count %q", line, fields[1])
+			}
+			g = graph.New(n, 0)
+			hs = make([]graph.Handle, n)
+			for i := range hs {
+				hs[i] = g.AddNode(float64(i))
+			}
+		case "e":
+			if g == nil {
+				return nil, nil, fmt.Errorf("graphio: line %d: edge before n header", line)
+			}
+			if len(fields) != 3 {
+				return nil, nil, fmt.Errorf("graphio: line %d: malformed edge", line)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil || u < 0 || v < 0 || u >= len(hs) || v >= len(hs) {
+				return nil, nil, fmt.Errorf("graphio: line %d: bad edge %q", line, text)
+			}
+			if u == v {
+				return nil, nil, fmt.Errorf("graphio: line %d: self-loop", line)
+			}
+			g.AddOutEdge(hs[u], hs[v])
+		default:
+			return nil, nil, fmt.Errorf("graphio: line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if g == nil {
+		return nil, nil, fmt.Errorf("graphio: missing n header")
+	}
+	return g, hs, nil
+}

@@ -1,0 +1,151 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/dyngraph/churnnet/internal/core"
+	"github.com/dyngraph/churnnet/internal/graph"
+	"github.com/dyngraph/churnnet/internal/rng"
+	"github.com/dyngraph/churnnet/internal/staticgraph"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g, _ := staticgraph.Path(3)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, "p3"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`graph "p3" {`, "0 -- 1;", "1 -- 2;", "}"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "2 -- 1") {
+		t.Fatal("edge emitted twice")
+	}
+}
+
+func TestWriteDOTDefaultName(t *testing.T) {
+	g, _ := staticgraph.Path(2)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `graph "churnnet"`) {
+		t.Fatal("default name missing")
+	}
+}
+
+func TestWriteDOTMergesParallelEdges(t *testing.T) {
+	g := graph.New(2, 2)
+	a, b := g.AddNode(0), g.AddNode(1)
+	g.AddOutEdge(a, b)
+	g.AddOutEdge(a, b)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "--") != 1 {
+		t.Fatalf("parallel edges not merged:\n%s", buf.String())
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g, _ := staticgraph.DOut(50, 3, rng.New(1))
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, hs2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumAlive() != 50 || len(hs2) != 50 {
+		t.Fatalf("size %d", g2.NumAlive())
+	}
+	if g2.NumEdgesLive() != g.NumEdgesLive() {
+		t.Fatalf("edges %d != %d", g2.NumEdgesLive(), g.NumEdgesLive())
+	}
+	if err := g2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeListRoundTripPreservesDegrees(t *testing.T) {
+	m := core.NewStreaming(200, 4, true, rng.New(2))
+	m.WarmUp()
+	g := m.Graph()
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, hs2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Degrees sorted by birth order must match exactly.
+	orig := make([]int, 0, g.NumAlive())
+	hs := g.AliveHandles()
+	// birth order == ID order in the export
+	for i := 0; i < len(hs); i++ {
+		orig = append(orig, 0)
+	}
+	_, ids := stableIDs(g)
+	g.ForEachAlive(func(h graph.Handle) bool {
+		orig[ids[h]] = g.DegreeLive(h)
+		return true
+	})
+	for i, h := range hs2 {
+		if got := g2.DegreeLive(h); got != orig[i] {
+			t.Fatalf("degree mismatch at %d: %d != %d", i, got, orig[i])
+		}
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"",             // missing header
+		"e 0 1\n",      // edge before header
+		"n -3\n",       // bad count
+		"n 2\nn 2\n",   // duplicate header
+		"n 2\ne 0\n",   // malformed edge
+		"n 2\ne 0 5\n", // out of range
+		"n 2\ne 1 1\n", // self loop
+		"n 2\nz 1 2\n", // unknown record
+		"n two\n",      // non-numeric count... caught as malformed
+	}
+	for i, in := range cases {
+		if _, _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d (%q): expected error", i, in)
+		}
+	}
+}
+
+func TestReadEdgeListSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# snapshot\n\nn 3\n# edges\ne 0 1\n\ne 1 2\n"
+	g, _, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumAlive() != 3 || g.NumEdgesLive() != 2 {
+		t.Fatalf("parsed %d nodes %d edges", g.NumAlive(), g.NumEdgesLive())
+	}
+}
+
+func TestStableIDsAreBirthOrdered(t *testing.T) {
+	g := graph.New(4, 0)
+	a := g.AddNode(0)
+	b := g.AddNode(1)
+	g.RemoveNode(a, nil)
+	c := g.AddNode(2) // reuses a's slot but is younger than b
+	hs, ids := stableIDs(g)
+	if len(hs) != 2 {
+		t.Fatalf("%v", hs)
+	}
+	if ids[b] != 0 || ids[c] != 1 {
+		t.Fatalf("ids %v", ids)
+	}
+}

@@ -1,0 +1,246 @@
+// Package onion simulates the paper's onion-skin processes — the
+// constructive device behind the "flooding informs most nodes" theorems in
+// the models without edge regeneration.
+//
+// The streaming variant (Section 3.1.2, proof of Theorem 3.8) builds a
+// bipartite cascade from the source s: young nodes (age < n/2) alternate
+// with old nodes (age in [n/2, n − log n]), and each node's d requests are
+// split into type-A ({1..d/2}) and type-B ({d/2+1..d}) halves so that
+// deferred decisions stay valid across steps. Claim 3.10 states each layer
+// grows by a factor >= d/20 with probability 1 − e^{−Ω(d·layer)}; Claim
+// 3.11 aggregates this into overall success probability >= 1 − 4e^{−d/100}.
+//
+// The extended variant (Section 7.2.4, proof of Theorem 4.13) adapts the
+// cascade to the Poisson model: the population size m is only known to lie
+// in [0.9n, 1.1n], and every newly informed node immediately dies with
+// probability log n / n (a worst-case coin for deaths during the O(log n)
+// window).
+//
+// Both simulations work on aggregate layer counts. By the exchangeability
+// of the uniform request destinations, the layer-size process of the
+// paper's node-level construction is distributed exactly as this aggregate
+// chain: a layer of x newly informed young nodes makes x·d/2 independent
+// uniform requests, and the number of *distinct* not-yet-informed old
+// nodes they hit follows the occupancy distribution sampled here.
+package onion
+
+import (
+	"math"
+
+	"github.com/dyngraph/churnnet/internal/dist"
+	"github.com/dyngraph/churnnet/internal/rng"
+)
+
+// Result reports one onion-skin cascade.
+type Result struct {
+	// Phases is the number of phases executed (phase 0 included).
+	Phases int
+	// YoungLayers[k] and OldLayers[k] are the layer sizes |Y_k − Y_{k−1}|
+	// and |O_k − O_{k−1}| (index 0 is phase 0: YoungLayers[0] = 1 for the
+	// source, OldLayers[0] = |O_0|).
+	YoungLayers, OldLayers []int
+	// YoungTotal and OldTotal are |Y_k| and |O_k| at the end.
+	YoungTotal, OldTotal int
+	// Reached reports whether both totals reached Target before the
+	// cascade died out; ReachedPhase is the first such phase (-1 if not).
+	Reached      bool
+	ReachedPhase int
+	// Target is the per-side goal the run used (n/d in Lemma 3.9, m/20 in
+	// Lemma 7.8).
+	Target int
+	// DiedOut reports that some layer was empty before reaching Target.
+	DiedOut bool
+}
+
+// MinGrowthFactor returns the smallest layer-over-layer growth factor
+// observed across consecutive old layers (Claim 3.10 predicts >= d/20 while
+// layers are small). It returns +Inf when fewer than two layers exist.
+func (r *Result) MinGrowthFactor() float64 {
+	minFactor := math.Inf(1)
+	for i := 1; i < len(r.OldLayers); i++ {
+		prev := r.OldLayers[i-1]
+		if prev == 0 {
+			continue
+		}
+		if f := float64(r.OldLayers[i]) / float64(prev); f < minFactor {
+			minFactor = f
+		}
+	}
+	return minFactor
+}
+
+// Streaming runs the onion-skin process of Section 3.1.2 for the SDG model
+// with parameters n and d, stopping when both the young and old informed
+// sets reach n/d (the 2n/d total of Lemma 3.9) or a layer dies out.
+func Streaming(n, d int, r *rng.RNG) Result {
+	if n < 4 || d < 1 {
+		panic("onion: Streaming requires n >= 4 and d >= 1")
+	}
+	logN := int(math.Log(float64(n)))
+	youngPool := n/2 - 2  // |Y|: ages 2 .. n/2−1
+	oldPool := n/2 - logN // |O|: ages n/2 .. n−log n
+	target := n / d
+	return run(params{
+		n:         n,
+		d:         d,
+		youngPool: youngPool,
+		oldPool:   oldPool,
+		target:    target,
+		deathProb: 0, // the streaming cascade window outlives no watched node
+	}, r)
+}
+
+// Extended runs the Poisson-model variant of Section 7.2.4: population m
+// (sampled uniformly from [0.9n, 1.1n] to reflect Lemma 4.4 when m <= 0),
+// young/old split at m/2, per-node death coin log n / n after each
+// informing step, target m/20 per side (Lemma 7.8).
+func Extended(n, d int, m int, r *rng.RNG) Result {
+	if n < 4 || d < 1 {
+		panic("onion: Extended requires n >= 4 and d >= 1")
+	}
+	if m <= 0 {
+		lo, hi := int(0.9*float64(n)), int(1.1*float64(n))
+		m = lo + r.Intn(hi-lo+1)
+	}
+	return run(params{
+		n:         m,
+		d:         d,
+		youngPool: m / 2,
+		oldPool:   m - m/2,
+		target:    m / 20,
+		deathProb: math.Log(float64(n)) / float64(n),
+	}, r)
+}
+
+type params struct {
+	n         int // request destinations are uniform over n nodes
+	d         int
+	youngPool int // |Y|: young nodes available to inform
+	oldPool   int // |O|: old nodes available to inform
+	target    int
+	deathProb float64 // per-newly-informed-node immediate death coin
+}
+
+func run(p params, r *rng.RNG) Result {
+	res := Result{Target: p.target, ReachedPhase: -1}
+
+	// Phase 0: the source makes d requests; distinct old nodes hit form
+	// O_0. Each request lands on a specific node with probability 1/n, so
+	// it lands in O with probability oldPool/n.
+	oldRemaining := p.oldPool
+	youngRemaining := p.youngPool
+	o0 := distinctHits(r, p.d, oldRemaining, p.n)
+	o0 = thin(r, o0, p.deathProb)
+	oldRemaining -= o0
+	res.YoungLayers = append(res.YoungLayers, 1)
+	res.OldLayers = append(res.OldLayers, o0)
+	res.YoungTotal, res.OldTotal = 1, o0
+	res.Phases = 1
+
+	lastOld := o0
+	for {
+		if res.YoungTotal >= p.target && res.OldTotal >= p.target {
+			res.Reached = true
+			res.ReachedPhase = res.Phases - 1
+			return res
+		}
+		if lastOld == 0 {
+			res.DiedOut = true
+			return res
+		}
+		// Step 1: every uninformed young node connects to the newest old
+		// layer with one of its d/2 type-B requests with probability
+		// 1 − (1 − lastOld/n)^{d/2}, independently across young nodes.
+		pHit := 1 - math.Pow(1-float64(lastOld)/float64(p.n), float64(p.d/2))
+		newYoung := dist.Binomial(r, youngRemaining, pHit)
+		newYoung = thin(r, newYoung, p.deathProb)
+		youngRemaining -= newYoung
+		if newYoung == 0 {
+			res.YoungLayers = append(res.YoungLayers, 0)
+			res.OldLayers = append(res.OldLayers, 0)
+			res.Phases++
+			res.DiedOut = true
+			return res
+		}
+		// Step 2: the new young layer makes newYoung·d/2 type-A requests;
+		// distinct uninformed old nodes hit form the next old layer.
+		newOld := distinctHits(r, newYoung*(p.d/2), oldRemaining, p.n)
+		newOld = thin(r, newOld, p.deathProb)
+		oldRemaining -= newOld
+
+		res.YoungLayers = append(res.YoungLayers, newYoung)
+		res.OldLayers = append(res.OldLayers, newOld)
+		res.YoungTotal += newYoung
+		res.OldTotal += newOld
+		res.Phases++
+		lastOld = newOld
+
+		if res.Phases > 4*len64(p.n)+8 {
+			// Safety valve: growth by >= d/20 per phase reaches n/d in
+			// O(log n / log d) phases; far beyond that, call it dead.
+			res.DiedOut = true
+			return res
+		}
+	}
+}
+
+// distinctHits throws `requests` uniform balls over n destinations and
+// returns how many *distinct* destinations inside a pool of `pool`
+// not-yet-hit nodes are hit. Sequentially exact: ball i hits a fresh pool
+// node with probability (pool − c)/n given c previous fresh hits.
+func distinctHits(r *rng.RNG, requests, pool, n int) int {
+	if pool <= 0 || requests <= 0 {
+		return 0
+	}
+	c := 0
+	for i := 0; i < requests; i++ {
+		if c >= pool {
+			return pool
+		}
+		if dist.Bernoulli(r, float64(pool-c)/float64(n)) {
+			c++
+		}
+	}
+	return c
+}
+
+// thin removes each of k nodes independently with probability p (the
+// extended process's death coin).
+func thin(r *rng.RNG, k int, p float64) int {
+	if p <= 0 || k == 0 {
+		return k
+	}
+	return k - dist.Binomial(r, k, p)
+}
+
+func len64(n int) int {
+	b := 0
+	for n > 0 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// SuccessRate runs the streaming (extended=false) or extended
+// (extended=true) cascade `trials` times and returns the fraction reaching
+// target — the quantity Claims 3.11 / Lemma 7.8 lower-bound by
+// 1 − 4e^{−d/100} and 1 − 2e^{−d/576} − o(1) respectively.
+func SuccessRate(n, d, trials int, extended bool, r *rng.RNG) float64 {
+	if trials <= 0 {
+		panic("onion: SuccessRate requires trials > 0")
+	}
+	ok := 0
+	for i := 0; i < trials; i++ {
+		var res Result
+		if extended {
+			res = Extended(n, d, 0, r)
+		} else {
+			res = Streaming(n, d, r)
+		}
+		if res.Reached {
+			ok++
+		}
+	}
+	return float64(ok) / float64(trials)
+}

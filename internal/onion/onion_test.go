@@ -1,0 +1,230 @@
+package onion
+
+import (
+	"math"
+	"testing"
+
+	"github.com/dyngraph/churnnet/internal/rng"
+)
+
+func TestStreamingReachesTargetLargeD(t *testing.T) {
+	// Claim 3.11 regime: d >= 200 succeeds with probability
+	// >= 1 − 4e^{−d/100} ≈ 0.46 for d = 200 — but empirically the cascade
+	// is far more reliable; require a high success rate.
+	rate := SuccessRate(100000, 200, 50, false, rng.New(1))
+	if rate < 0.9 {
+		t.Fatalf("streaming onion-skin success rate %v for d=200", rate)
+	}
+}
+
+func TestStreamingLayerGrowth(t *testing.T) {
+	// Claim 3.10 shape: while layers are below n/d, each old layer grows
+	// by a factor around d/20 or more. Check the minimum observed factor
+	// stays above a loose d/40.
+	r := rng.New(2)
+	for trial := 0; trial < 10; trial++ {
+		res := Streaming(200000, 300, r)
+		if !res.Reached {
+			continue
+		}
+		if f := res.MinGrowthFactor(); f < 300.0/40 {
+			t.Fatalf("trial %d: min growth factor %v below d/40 (layers %v)", trial, f, res.OldLayers)
+		}
+	}
+}
+
+func TestStreamingSmallDOftenDies(t *testing.T) {
+	// With d = 1 the cascade has no redundancy: type-B halves are empty
+	// (d/2 = 0), so no young node can ever connect — guaranteed death
+	// after phase 0.
+	res := Streaming(1000, 1, rng.New(3))
+	if !res.DiedOut || res.Reached {
+		t.Fatalf("d=1 cascade should die: %+v", res)
+	}
+}
+
+func TestStreamingResultAccounting(t *testing.T) {
+	r := rng.New(4)
+	res := Streaming(50000, 250, r)
+	if len(res.YoungLayers) != res.Phases || len(res.OldLayers) != res.Phases {
+		t.Fatalf("layer slices %d/%d vs phases %d", len(res.YoungLayers), len(res.OldLayers), res.Phases)
+	}
+	sumY, sumO := 0, 0
+	for _, y := range res.YoungLayers {
+		sumY += y
+	}
+	for _, o := range res.OldLayers {
+		sumO += o
+	}
+	if sumY != res.YoungTotal || sumO != res.OldTotal {
+		t.Fatalf("totals %d/%d, layer sums %d/%d", res.YoungTotal, res.OldTotal, sumY, sumO)
+	}
+	if res.YoungLayers[0] != 1 {
+		t.Fatal("phase 0 young layer must be the source alone")
+	}
+	if res.Reached && (res.YoungTotal < res.Target || res.OldTotal < res.Target) {
+		t.Fatalf("reached without meeting target: %+v", res)
+	}
+	if res.Reached == res.DiedOut {
+		t.Fatalf("exactly one of Reached/DiedOut must hold: %+v", res)
+	}
+}
+
+func TestStreamingPhase0Distribution(t *testing.T) {
+	// |O_0| <= d always, and E|O_0| ≈ d·|O|/n ≈ d/2.
+	r := rng.New(5)
+	const n, d, trials = 10000, 40, 2000
+	sum := 0
+	for i := 0; i < trials; i++ {
+		res := Streaming(n, d, r)
+		o0 := res.OldLayers[0]
+		if o0 > d {
+			t.Fatalf("|O_0| = %d > d", o0)
+		}
+		sum += o0
+	}
+	mean := float64(sum) / trials
+	if math.Abs(mean-float64(d)/2) > 2 {
+		t.Fatalf("E|O_0| = %v, want ~%v", mean, float64(d)/2)
+	}
+}
+
+func TestExtendedReachesTarget(t *testing.T) {
+	// Lemma 7.8 regime (d >= 1152 formally; empirically far smaller d
+	// works). Use the theorem's d to stay in-regime.
+	rate := SuccessRate(100000, 1152, 20, true, rng.New(6))
+	if rate < 0.9 {
+		t.Fatalf("extended onion-skin success rate %v", rate)
+	}
+}
+
+func TestExtendedPopulationSampling(t *testing.T) {
+	// With m <= 0 the population is sampled in [0.9n, 1.1n]; with an
+	// explicit m the target must be m/20.
+	res := Extended(10000, 600, 10000, rng.New(7))
+	if res.Target != 500 {
+		t.Fatalf("target %d, want m/20", res.Target)
+	}
+	res = Extended(10000, 600, 0, rng.New(8))
+	if res.Target < 9000/20 || res.Target > 11000/20 {
+		t.Fatalf("sampled-population target %d outside [450, 550]", res.Target)
+	}
+}
+
+func TestExtendedDeathCoinHurts(t *testing.T) {
+	// The extended cascade with a huge death probability (small n makes
+	// log n / n large) must fail more often than the immortal streaming
+	// cascade at the same d... simply check it can die.
+	died := 0
+	r := rng.New(9)
+	for i := 0; i < 50; i++ {
+		res := Extended(100, 4, 100, r)
+		if res.DiedOut {
+			died++
+		}
+	}
+	if died == 0 {
+		t.Fatal("extended cascade with d=4 never died in 50 trials")
+	}
+}
+
+func TestMinGrowthFactorEdgeCases(t *testing.T) {
+	r := Result{OldLayers: []int{5}}
+	if !math.IsInf(r.MinGrowthFactor(), 1) {
+		t.Fatal("single layer must give +Inf")
+	}
+	r = Result{OldLayers: []int{0, 7}}
+	if !math.IsInf(r.MinGrowthFactor(), 1) {
+		t.Fatal("zero previous layer skipped")
+	}
+	r = Result{OldLayers: []int{2, 6, 3}}
+	if got := r.MinGrowthFactor(); got != 0.5 {
+		t.Fatalf("min factor %v", got)
+	}
+}
+
+func TestSuccessRateBounds(t *testing.T) {
+	rate := SuccessRate(2000, 100, 30, false, rng.New(10))
+	if rate < 0 || rate > 1 {
+		t.Fatalf("rate %v", rate)
+	}
+}
+
+func TestSuccessRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SuccessRate(100, 10, 0, false, rng.New(1))
+}
+
+func TestStreamingPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { Streaming(2, 5, rng.New(1)) },
+		func() { Streaming(100, 0, rng.New(1)) },
+		func() { Extended(2, 5, 0, rng.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDistinctHitsExactSmall(t *testing.T) {
+	// pool=n: every request hits a fresh node until the pool empties.
+	r := rng.New(11)
+	if got := distinctHits(r, 5, 3, 3); got != 3 {
+		t.Fatalf("got %d, want pool exhausted", got)
+	}
+	if got := distinctHits(r, 0, 10, 100); got != 0 {
+		t.Fatal("no requests must hit nothing")
+	}
+	if got := distinctHits(r, 10, 0, 100); got != 0 {
+		t.Fatal("empty pool must hit nothing")
+	}
+}
+
+func TestDistinctHitsMean(t *testing.T) {
+	// E[distinct] = pool·(1 − (1 − 1/n)^requests).
+	r := rng.New(12)
+	const requests, pool, n, trials = 200, 300, 1000, 3000
+	sum := 0
+	for i := 0; i < trials; i++ {
+		sum += distinctHits(r, requests, pool, n)
+	}
+	mean := float64(sum) / trials
+	want := float64(pool) * (1 - math.Pow(1-1.0/float64(n), float64(requests)))
+	if math.Abs(mean-want) > 0.05*want {
+		t.Fatalf("mean distinct %v, want %v", mean, want)
+	}
+}
+
+func TestThin(t *testing.T) {
+	r := rng.New(13)
+	if got := thin(r, 100, 0); got != 100 {
+		t.Fatal("p=0 must keep all")
+	}
+	if got := thin(r, 0, 0.5); got != 0 {
+		t.Fatal("k=0")
+	}
+	sum := 0
+	for i := 0; i < 2000; i++ {
+		sum += thin(r, 100, 0.3)
+	}
+	if mean := float64(sum) / 2000; math.Abs(mean-70) > 2 {
+		t.Fatalf("thin mean %v, want 70", mean)
+	}
+}
+
+func BenchmarkStreamingOnion(b *testing.B) {
+	r := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		Streaming(100000, 200, r)
+	}
+}

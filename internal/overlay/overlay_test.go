@@ -1,0 +1,232 @@
+package overlay
+
+import (
+	"math"
+	"testing"
+
+	"github.com/dyngraph/churnnet/internal/analysis"
+	"github.com/dyngraph/churnnet/internal/core"
+	"github.com/dyngraph/churnnet/internal/flood"
+	"github.com/dyngraph/churnnet/internal/graph"
+	"github.com/dyngraph/churnnet/internal/rng"
+)
+
+func testConfig(n, d int) Config {
+	return Config{N: n, D: d, MaxIn: 64}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{N: 0, D: 3}, rng.New(1))
+}
+
+func TestPopulationReachesStationary(t *testing.T) {
+	o := New(testConfig(500, 8), rng.New(2))
+	o.WarmUp()
+	size := o.Graph().NumAlive()
+	if size < 400 || size > 600 {
+		t.Fatalf("population %d far from n=500", size)
+	}
+}
+
+func TestModelInterface(t *testing.T) {
+	var m core.Model = New(testConfig(200, 8), rng.New(3))
+	if m.Kind() != core.Overlay {
+		t.Fatalf("kind %v", m.Kind())
+	}
+	if m.Kind().String() != "OVERLAY" {
+		t.Fatalf("kind string %q", m.Kind().String())
+	}
+	m.AdvanceRound()
+	if m.Now() != 1 {
+		t.Fatalf("now %v", m.Now())
+	}
+	if m.N() != 200 || m.D() != 8 {
+		t.Fatal("params")
+	}
+}
+
+func TestOutDegreeConvergesToD(t *testing.T) {
+	const n, d = 400, 8
+	o := New(testConfig(n, d), rng.New(4))
+	o.WarmUp()
+	g := o.Graph()
+	full, total := 0, 0
+	g.ForEachAlive(func(h graph.Handle) bool {
+		total++
+		if g.OutDegreeLive(h) == d {
+			full++
+		}
+		return true
+	})
+	// Nodes redial within MaintenanceInterval of losing a peer, so nearly
+	// everyone is at target degree at any instant.
+	if frac := float64(full) / float64(total); frac < 0.9 {
+		t.Fatalf("only %.2f of nodes at full out-degree", frac)
+	}
+}
+
+func TestInboundCapRespected(t *testing.T) {
+	const n, d, maxIn = 300, 8, 10
+	o := New(Config{N: n, D: d, MaxIn: maxIn}, rng.New(5))
+	o.WarmUp()
+	g := o.Graph()
+	g.ForEachAlive(func(h graph.Handle) bool {
+		if in := g.InDegreeLive(h); in > maxIn {
+			t.Fatalf("node %v has %d inbound peers (cap %d)", h, in, maxIn)
+		}
+		return true
+	})
+	if _, _, full := o.DialStats(); full == 0 {
+		t.Log("note: no dial ever hit a full peer (cap generous for this n, d)")
+	}
+}
+
+func TestInCountMatchesGraph(t *testing.T) {
+	o := New(testConfig(250, 6), rng.New(6))
+	o.WarmUp()
+	g := o.Graph()
+	g.ForEachAlive(func(h graph.Handle) bool {
+		if got, want := o.in[h.Slot], g.InDegreeLive(h); got != want {
+			t.Fatalf("in-count drift at %v: counter %d, graph %d", h, got, want)
+		}
+		return true
+	})
+}
+
+func TestGraphInvariantsUnderProtocol(t *testing.T) {
+	o := New(testConfig(150, 5), rng.New(7))
+	for i := 0; i < 10; i++ {
+		o.AdvanceTime(50)
+		if err := o.Graph().CheckInvariants(); err != nil {
+			t.Fatalf("after %d: %v", i, err)
+		}
+	}
+}
+
+func TestNoSelfOrDuplicateOutPeers(t *testing.T) {
+	o := New(testConfig(200, 8), rng.New(8))
+	o.WarmUp()
+	g := o.Graph()
+	g.ForEachAlive(func(h graph.Handle) bool {
+		seen := map[graph.Handle]bool{}
+		g.OutTargets(h, func(tgt graph.Handle) bool {
+			if tgt == h {
+				t.Fatalf("self connection at %v", h)
+			}
+			if seen[tgt] {
+				t.Fatalf("duplicate outbound peer at %v", h)
+			}
+			seen[tgt] = true
+			return true
+		})
+		return true
+	})
+}
+
+func TestBookBoundedAndFresh(t *testing.T) {
+	cfg := testConfig(300, 8)
+	cfg.AddrBookCap = 64
+	o := New(cfg, rng.New(9))
+	o.WarmUp()
+	g := o.Graph()
+	g.ForEachAlive(func(h graph.Handle) bool {
+		if len(o.books[h.Slot]) > 64 {
+			t.Fatalf("book overflow: %d", len(o.books[h.Slot]))
+		}
+		return true
+	})
+}
+
+func TestFloodingCompletesOnOverlay(t *testing.T) {
+	// The Section 1.1 claim: the overlay behaves like PDGR — flooding at
+	// the theorem's degree completes in O(log n) rounds.
+	o := New(testConfig(500, 16), rng.New(10))
+	o.WarmUp()
+	src := o.LastBorn()
+	if !o.Graph().IsAlive(src) {
+		o.AdvanceTime(2)
+		src = o.LastBorn()
+	}
+	res := flood.Run(o, flood.Options{Source: src})
+	if !res.Completed {
+		t.Fatalf("overlay flooding incomplete: %+v", res)
+	}
+	if res.CompletionRound > 20 {
+		t.Fatalf("overlay flooding slow: %d rounds", res.CompletionRound)
+	}
+}
+
+func TestNoIsolatedNodesAtSteadyState(t *testing.T) {
+	o := New(testConfig(400, 8), rng.New(11))
+	o.WarmUp()
+	// A freshly joined node might momentarily have 0 peers, but with
+	// seeded books and fast maintenance the isolated fraction stays ~0.
+	if f := analysis.IsolatedFraction(o.Graph()); f > 0.01 {
+		t.Fatalf("isolated fraction %v", f)
+	}
+}
+
+func TestDialStatsAccumulate(t *testing.T) {
+	o := New(testConfig(300, 8), rng.New(12))
+	o.WarmUp()
+	ok, stale, full := o.DialStats()
+	if ok == 0 {
+		t.Fatal("no successful dials")
+	}
+	if ok < stale+full {
+		t.Logf("note: dials ok=%d stale=%d full=%d", ok, stale, full)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := New(testConfig(200, 8), rng.New(13))
+	b := New(testConfig(200, 8), rng.New(13))
+	a.AdvanceTime(300)
+	b.AdvanceTime(300)
+	if a.Graph().NumAlive() != b.Graph().NumAlive() ||
+		a.Graph().NumEdgesLive() != b.Graph().NumEdgesLive() {
+		t.Fatal("same seed diverged")
+	}
+}
+
+func TestHooksFire(t *testing.T) {
+	o := New(testConfig(100, 4), rng.New(14))
+	births, deaths := 0, 0
+	o.SetHooks(core.Hooks{
+		OnBirth: func(graph.Handle) { births++ },
+		OnDeath: func(graph.Handle) { deaths++ },
+	})
+	o.AdvanceTime(200)
+	if births == 0 || deaths == 0 {
+		t.Fatalf("hooks births=%d deaths=%d", births, deaths)
+	}
+	if births-deaths != o.Graph().NumAlive() {
+		t.Fatalf("conservation: %d - %d != %d", births, deaths, o.Graph().NumAlive())
+	}
+}
+
+func TestMeanDegreeNearTwiceD(t *testing.T) {
+	// Every live edge is someone's outbound connection, so mean total
+	// degree ≈ 2d when nearly all nodes sit at the target out-degree.
+	const d = 8
+	o := New(testConfig(400, d), rng.New(15))
+	o.WarmUp()
+	ds := analysis.Degrees(o.Graph())
+	if math.Abs(ds.Mean-2*d) > 1.5 {
+		t.Fatalf("mean degree %v, want ≈ %d", ds.Mean, 2*d)
+	}
+}
+
+func BenchmarkOverlayAdvance(b *testing.B) {
+	o := New(testConfig(2000, 8), rng.New(1))
+	o.WarmUp()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.AdvanceRound()
+	}
+}

@@ -1,0 +1,236 @@
+// Package report renders experiment results as Markdown, CSV and aligned
+// plain text. Every table carries its paper reference and the claim it
+// reproduces, so the generated EXPERIMENTS.md reads as a paper-vs-measured
+// record.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Table is one experiment's result table.
+type Table struct {
+	// ID is the experiment identifier (T1, F1, ...).
+	ID string
+	// Title is a human-readable one-liner.
+	Title string
+	// PaperRef cites the reproduced statement ("Lemma 3.5", "Table 1").
+	PaperRef string
+	// Claim states what the paper predicts.
+	Claim string
+	// Columns are the header cells.
+	Columns []string
+	// Rows hold the data cells; ragged rows are padded when rendered.
+	Rows [][]string
+	// Notes are free-form footnotes.
+	Notes []string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a footnote.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// width returns the widest row length including the header.
+func (t *Table) width() int {
+	w := len(t.Columns)
+	for _, r := range t.Rows {
+		if len(r) > w {
+			w = len(r)
+		}
+	}
+	return w
+}
+
+func pad(row []string, w int) []string {
+	if len(row) >= w {
+		return row
+	}
+	out := make([]string, w)
+	copy(out, row)
+	return out
+}
+
+// Markdown renders the table as a Markdown section.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	if t.PaperRef != "" {
+		fmt.Fprintf(&b, "*Paper reference:* %s.", t.PaperRef)
+		if t.Claim != "" {
+			fmt.Fprintf(&b, " *Claim:* %s", t.Claim)
+		}
+		b.WriteString("\n\n")
+	}
+	w := t.width()
+	if w > 0 {
+		header := pad(t.Columns, w)
+		b.WriteString("| " + strings.Join(escapeCells(header), " | ") + " |\n")
+		b.WriteString("|" + strings.Repeat(" --- |", w) + "\n")
+		for _, row := range t.Rows {
+			b.WriteString("| " + strings.Join(escapeCells(pad(row, w)), " | ") + " |\n")
+		}
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n> %s\n", n)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+func escapeCells(cells []string) []string {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		c = strings.ReplaceAll(c, "|", "\\|")
+		c = strings.ReplaceAll(c, "\n", " ")
+		out[i] = c
+	}
+	return out
+}
+
+// CSV renders the table in RFC-4180 CSV (header + rows).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	w := t.width()
+	writeCSVRow(&b, pad(t.Columns, w))
+	for _, row := range t.Rows {
+		writeCSVRow(&b, pad(row, w))
+	}
+	return b.String()
+}
+
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			b.WriteString(`"` + strings.ReplaceAll(c, `"`, `""`) + `"`)
+		} else {
+			b.WriteString(c)
+		}
+	}
+	b.WriteByte('\n')
+}
+
+// Text renders the table with aligned columns for terminals.
+func (t *Table) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	if t.PaperRef != "" {
+		fmt.Fprintf(&b, "  [%s] %s\n", t.PaperRef, t.Claim)
+	}
+	w := t.width()
+	if w == 0 {
+		return b.String()
+	}
+	widths := make([]int, w)
+	all := append([][]string{pad(t.Columns, w)}, t.Rows...)
+	for _, row := range all {
+		for i, c := range pad(row, w) {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for ri, row := range all {
+		for i, c := range pad(row, w) {
+			fmt.Fprintf(&b, "  %-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			total := 2 * w
+			for _, wd := range widths {
+				total += wd
+			}
+			b.WriteString(strings.Repeat("-", total) + "\n")
+		}
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Report is an ordered collection of tables.
+type Report struct {
+	Title  string
+	Intro  string
+	Tables []*Table
+}
+
+// Add appends tables.
+func (r *Report) Add(ts ...*Table) { r.Tables = append(r.Tables, ts...) }
+
+// Markdown renders the whole report.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	if r.Title != "" {
+		fmt.Fprintf(&b, "# %s\n\n", r.Title)
+	}
+	if r.Intro != "" {
+		b.WriteString(r.Intro + "\n\n")
+	}
+	for _, t := range r.Tables {
+		b.WriteString(t.Markdown())
+	}
+	return b.String()
+}
+
+// --- cell formatting helpers ---
+
+// F formats a float compactly (4 significant digits, inf/nan-safe).
+func F(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	}
+	return strconv.FormatFloat(v, 'g', 4, 64)
+}
+
+// F2 formats a float with 2 decimal places.
+func F2(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return F(v)
+	}
+	return strconv.FormatFloat(v, 'f', 2, 64)
+}
+
+// Pct formats a fraction as a percentage with one decimal.
+func Pct(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return F(v)
+	}
+	return strconv.FormatFloat(100*v, 'f', 1, 64) + "%"
+}
+
+// D formats an int.
+func D(v int) string { return strconv.Itoa(v) }
+
+// Sci formats in scientific notation with 2 digits (for tail bounds).
+func Sci(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return F(v)
+	}
+	return strconv.FormatFloat(v, 'e', 2, 64)
+}
+
+// Pass renders a ✓/✗ cell.
+func Pass(ok bool) string {
+	if ok {
+		return "✓"
+	}
+	return "✗"
+}

@@ -1,0 +1,141 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		ID:       "F1",
+		Title:    "Isolated nodes",
+		PaperRef: "Lemma 3.5",
+		Claim:    "at least (1/6)e^{-2d} n isolated nodes",
+		Columns:  []string{"n", "d", "measured"},
+	}
+	t.AddRow("1000", "2", "0.031")
+	t.AddRow("4000", "3", "0.007")
+	t.AddNote("seeds 0..%d", 9)
+	return t
+}
+
+func TestMarkdown(t *testing.T) {
+	md := sample().Markdown()
+	for _, want := range []string{
+		"### F1 — Isolated nodes",
+		"*Paper reference:* Lemma 3.5",
+		"| n | d | measured |",
+		"| 1000 | 2 | 0.031 |",
+		"> seeds 0..9",
+	} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestMarkdownEscapesPipes(t *testing.T) {
+	tab := &Table{ID: "X", Title: "t", Columns: []string{"a|b"}}
+	tab.AddRow("x\ny")
+	md := tab.Markdown()
+	if !strings.Contains(md, `a\|b`) {
+		t.Fatalf("pipe not escaped: %s", md)
+	}
+	if strings.Contains(md, "x\ny") {
+		t.Fatal("newline not flattened")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	csv := sample().CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines: %v", lines)
+	}
+	if lines[0] != "n,d,measured" {
+		t.Fatalf("header %q", lines[0])
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tab := &Table{Columns: []string{"a"}}
+	tab.AddRow(`say "hi", ok` + "\nnewline")
+	csv := tab.CSV()
+	if !strings.Contains(csv, `"say ""hi"", ok`) {
+		t.Fatalf("csv quoting wrong: %q", csv)
+	}
+}
+
+func TestRaggedRowsPadded(t *testing.T) {
+	tab := &Table{Columns: []string{"a", "b"}}
+	tab.AddRow("1")
+	tab.AddRow("1", "2", "3")
+	md := tab.Markdown()
+	// Widest row (3) defines the width; all rows padded to 3 cells = 4 pipes.
+	for _, line := range strings.Split(md, "\n") {
+		if strings.HasPrefix(line, "|") && strings.Count(line, "|") != 4 {
+			t.Fatalf("unpadded line %q", line)
+		}
+	}
+	csv := tab.CSV()
+	if !strings.Contains(csv, "1,,\n") {
+		t.Fatalf("csv not padded: %q", csv)
+	}
+}
+
+func TestText(t *testing.T) {
+	txt := sample().Text()
+	if !strings.Contains(txt, "F1 — Isolated nodes") || !strings.Contains(txt, "measured") {
+		t.Fatalf("text output: %s", txt)
+	}
+	if !strings.Contains(txt, "note: seeds 0..9") {
+		t.Fatal("note missing")
+	}
+}
+
+func TestReportMarkdown(t *testing.T) {
+	r := &Report{Title: "Results", Intro: "All experiments."}
+	r.Add(sample(), sample())
+	md := r.Markdown()
+	if !strings.HasPrefix(md, "# Results\n") {
+		t.Fatalf("title missing: %q", md[:30])
+	}
+	if strings.Count(md, "### F1") != 2 {
+		t.Fatal("tables missing")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := []struct{ got, want string }{
+		{F(0.123456), "0.1235"},
+		{F(math.NaN()), "NaN"},
+		{F(math.Inf(1)), "inf"},
+		{F(math.Inf(-1)), "-inf"},
+		{F2(1.005), "1.00"},
+		{Pct(0.5), "50.0%"},
+		{Pct(math.NaN()), "NaN"},
+		{D(42), "42"},
+		{Sci(0.000123), "1.23e-04"},
+		{Pass(true), "✓"},
+		{Pass(false), "✗"},
+	}
+	for i, c := range cases {
+		if c.got != c.want {
+			t.Errorf("case %d: got %q want %q", i, c.got, c.want)
+		}
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tab := &Table{ID: "E", Title: "empty"}
+	if md := tab.Markdown(); !strings.Contains(md, "### E — empty") {
+		t.Fatal("empty table markdown")
+	}
+	if txt := tab.Text(); !strings.Contains(txt, "E — empty") {
+		t.Fatal("empty table text")
+	}
+	if csv := tab.CSV(); csv != "\n" {
+		t.Fatalf("empty csv %q", csv)
+	}
+}

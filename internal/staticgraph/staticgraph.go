@@ -1,0 +1,144 @@
+// Package staticgraph builds churn-free graphs on the package graph arena:
+// the paper's static d-out random graph baseline (Lemma B.1: for d >= 3 it
+// is a Θ(1) vertex expander w.h.p.) and deterministic families whose vertex
+// expansion and flooding behavior are known in closed form, used as test
+// oracles throughout the repository.
+package staticgraph
+
+import (
+	"github.com/dyngraph/churnnet/internal/graph"
+	"github.com/dyngraph/churnnet/internal/rng"
+)
+
+// FromEdges builds a graph with n nodes (birth times 0..n-1, so node i is
+// older than node j when i < j) and one out-edge per listed pair, directed
+// from the first to the second endpoint. It panics on out-of-range or
+// self-loop endpoints.
+func FromEdges(n int, edges [][2]int) (*graph.Graph, []graph.Handle) {
+	g := graph.New(n, 0)
+	hs := make([]graph.Handle, n)
+	for i := range hs {
+		hs[i] = g.AddNode(float64(i))
+	}
+	for _, e := range edges {
+		if e[0] < 0 || e[0] >= n || e[1] < 0 || e[1] >= n {
+			panic("staticgraph: edge endpoint out of range")
+		}
+		if e[0] == e[1] {
+			panic("staticgraph: self-loop")
+		}
+		g.AddOutEdge(hs[e[0]], hs[e[1]])
+	}
+	return g, hs
+}
+
+// Cycle returns the n-cycle (n >= 3). Its vertex isoperimetric number is
+// 2/⌊n/2⌋: the worst sets are arcs.
+func Cycle(n int) (*graph.Graph, []graph.Handle) {
+	if n < 3 {
+		panic("staticgraph: Cycle requires n >= 3")
+	}
+	edges := make([][2]int, n)
+	for i := 0; i < n; i++ {
+		edges[i] = [2]int{i, (i + 1) % n}
+	}
+	return FromEdges(n, edges)
+}
+
+// Path returns the n-path (n >= 2). A half-line from either end has
+// boundary 1, so h_out = 1/⌊n/2⌋.
+func Path(n int) (*graph.Graph, []graph.Handle) {
+	if n < 2 {
+		panic("staticgraph: Path requires n >= 2")
+	}
+	edges := make([][2]int, n-1)
+	for i := 0; i < n-1; i++ {
+		edges[i] = [2]int{i, i + 1}
+	}
+	return FromEdges(n, edges)
+}
+
+// Complete returns K_n (n >= 2): every set S has ∂out(S) = V∖S, so
+// h_out = ⌈n/2⌉/⌊n/2⌋ >= 1.
+func Complete(n int) (*graph.Graph, []graph.Handle) {
+	if n < 2 {
+		panic("staticgraph: Complete requires n >= 2")
+	}
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	return FromEdges(n, edges)
+}
+
+// Star returns the star with handles[0] as the center and n-1 leaves
+// (n >= 2). Any leaf set avoiding the center has boundary 1, so
+// h_out = 1/⌊n/2⌋.
+func Star(n int) (*graph.Graph, []graph.Handle) {
+	if n < 2 {
+		panic("staticgraph: Star requires n >= 2")
+	}
+	edges := make([][2]int, n-1)
+	for i := 1; i < n; i++ {
+		edges[i-1] = [2]int{0, i}
+	}
+	return FromEdges(n, edges)
+}
+
+// Grid returns the rows×cols king-free (4-neighbor) grid.
+func Grid(rows, cols int) (*graph.Graph, []graph.Handle) {
+	if rows < 1 || cols < 1 || rows*cols < 2 {
+		panic("staticgraph: Grid requires at least 2 nodes")
+	}
+	var edges [][2]int
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, [2]int{id(r, c), id(r, c+1)})
+			}
+			if r+1 < rows {
+				edges = append(edges, [2]int{id(r, c), id(r+1, c)})
+			}
+		}
+	}
+	return FromEdges(rows*cols, edges)
+}
+
+// DOut returns the static random graph of Lemma B.1: each of n nodes makes
+// d independent uniform requests to other nodes (a multigraph, like the
+// dynamic models at birth). For d >= 3 it is a Θ(1) vertex expander w.h.p.
+func DOut(n, d int, r *rng.RNG) (*graph.Graph, []graph.Handle) {
+	if n < 2 || d < 0 {
+		panic("staticgraph: DOut requires n >= 2, d >= 0")
+	}
+	g := graph.New(n, d)
+	hs := make([]graph.Handle, n)
+	for i := range hs {
+		hs[i] = g.AddNode(float64(i))
+	}
+	for _, h := range hs {
+		for k := 0; k < d; k++ {
+			tgt := g.RandomAliveExcept(r, h)
+			g.AddOutEdge(h, tgt)
+		}
+	}
+	return g, hs
+}
+
+// Disconnected returns a graph of n isolated nodes plus an m-clique, a
+// fixture with h_out = 0 witnesses of every size up to n.
+func Disconnected(n, m int) (*graph.Graph, []graph.Handle) {
+	if n < 1 || m < 2 {
+		panic("staticgraph: Disconnected requires n >= 1 isolated nodes and m >= 2 clique nodes")
+	}
+	var edges [][2]int
+	for i := n; i < n+m; i++ {
+		for j := i + 1; j < n+m; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	return FromEdges(n+m, edges)
+}

@@ -1,0 +1,152 @@
+package staticgraph
+
+import (
+	"testing"
+
+	"github.com/dyngraph/churnnet/internal/graph"
+	"github.com/dyngraph/churnnet/internal/rng"
+)
+
+func degrees(g *graph.Graph, hs []graph.Handle) []int {
+	out := make([]int, len(hs))
+	for i, h := range hs {
+		out[i] = g.DegreeLive(h)
+	}
+	return out
+}
+
+func TestCycle(t *testing.T) {
+	g, hs := Cycle(5)
+	if g.NumAlive() != 5 || len(hs) != 5 {
+		t.Fatal("size wrong")
+	}
+	for _, d := range degrees(g, hs) {
+		if d != 2 {
+			t.Fatalf("cycle degree %d", d)
+		}
+	}
+	if g.NumEdgesLive() != 5 {
+		t.Fatal("cycle edge count")
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPath(t *testing.T) {
+	g, hs := Path(4)
+	ds := degrees(g, hs)
+	if ds[0] != 1 || ds[3] != 1 || ds[1] != 2 || ds[2] != 2 {
+		t.Fatalf("path degrees %v", ds)
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g, hs := Complete(6)
+	for _, d := range degrees(g, hs) {
+		if d != 5 {
+			t.Fatalf("K6 degree %d", d)
+		}
+	}
+	if g.NumEdgesLive() != 15 {
+		t.Fatalf("K6 edges %d", g.NumEdgesLive())
+	}
+}
+
+func TestStar(t *testing.T) {
+	g, hs := Star(7)
+	ds := degrees(g, hs)
+	if ds[0] != 6 {
+		t.Fatalf("center degree %d", ds[0])
+	}
+	for _, d := range ds[1:] {
+		if d != 1 {
+			t.Fatalf("leaf degree %d", d)
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g, hs := Grid(3, 4)
+	if g.NumAlive() != 12 {
+		t.Fatal("grid size")
+	}
+	// Corner degree 2, edge 3, interior 4.
+	ds := degrees(g, hs)
+	if ds[0] != 2 {
+		t.Fatalf("corner degree %d", ds[0])
+	}
+	if ds[1] != 3 {
+		t.Fatalf("edge degree %d", ds[1])
+	}
+	if ds[5] != 4 {
+		t.Fatalf("interior degree %d", ds[5])
+	}
+	// Edge count: 3*3 + 2*4 = 17.
+	if g.NumEdgesLive() != 17 {
+		t.Fatalf("grid edges %d", g.NumEdgesLive())
+	}
+}
+
+func TestDOut(t *testing.T) {
+	g, hs := DOut(50, 3, rng.New(1))
+	for _, h := range hs {
+		if got := g.OutDegreeLive(h); got != 3 {
+			t.Fatalf("out-degree %d", got)
+		}
+	}
+	if g.NumEdgesLive() != 150 {
+		t.Fatal("edge count")
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g, hs := Disconnected(3, 4)
+	if g.NumAlive() != 7 {
+		t.Fatal("size")
+	}
+	for i := 0; i < 3; i++ {
+		if !g.IsIsolated(hs[i]) {
+			t.Fatalf("node %d not isolated", i)
+		}
+	}
+	for i := 3; i < 7; i++ {
+		if g.DegreeLive(hs[i]) != 3 {
+			t.Fatalf("clique degree %d", g.DegreeLive(hs[i]))
+		}
+	}
+}
+
+func TestFromEdgesAges(t *testing.T) {
+	g, hs := FromEdges(3, [][2]int{{0, 1}})
+	if !g.Older(hs[0], hs[1]) || !g.Older(hs[1], hs[2]) {
+		t.Fatal("index order must be age order")
+	}
+}
+
+func TestFromEdgesPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { FromEdges(2, [][2]int{{0, 2}}) },
+		func() { FromEdges(2, [][2]int{{-1, 0}}) },
+		func() { FromEdges(2, [][2]int{{1, 1}}) },
+		func() { Cycle(2) },
+		func() { Path(1) },
+		func() { Complete(1) },
+		func() { Star(1) },
+		func() { Grid(1, 1) },
+		func() { DOut(1, 2, rng.New(1)) },
+		func() { Disconnected(0, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

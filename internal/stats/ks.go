@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KSStatistic returns the one-sample Kolmogorov–Smirnov statistic
+// D = sup |F_empirical(x) − cdf(x)| of xs against the given CDF.
+// It panics on an empty sample.
+func KSStatistic(xs []float64, cdf func(float64) float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		panic("stats: KSStatistic of empty sample")
+	}
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	d := 0.0
+	for i, x := range sorted {
+		f := cdf(x)
+		// Empirical CDF jumps at x: check both sides of the step.
+		lo := float64(i) / float64(n)
+		hi := float64(i+1) / float64(n)
+		if diff := math.Abs(f - lo); diff > d {
+			d = diff
+		}
+		if diff := math.Abs(f - hi); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// KSPValue approximates the p-value of a one-sample KS statistic d with
+// sample size n via the asymptotic Kolmogorov distribution
+// Q(λ) = 2 Σ (−1)^{k−1} e^{−2k²λ²}, λ = (√n + 0.12 + 0.11/√n)·d.
+func KSPValue(d float64, n int) float64 {
+	if n <= 0 {
+		panic("stats: KSPValue requires n > 0")
+	}
+	sqrtN := math.Sqrt(float64(n))
+	lambda := (sqrtN + 0.12 + 0.11/sqrtN) * d
+	if lambda < 1e-8 {
+		return 1
+	}
+	sum := 0.0
+	for k := 1; k <= 100; k++ {
+		term := 2 * math.Pow(-1, float64(k-1)) * math.Exp(-2*float64(k*k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+	}
+	if sum < 0 {
+		sum = 0
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// KSTest returns the statistic and approximate p-value of xs against cdf.
+func KSTest(xs []float64, cdf func(float64) float64) (d, p float64) {
+	d = KSStatistic(xs, cdf)
+	return d, KSPValue(d, len(xs))
+}

@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func uniformCDF(x float64) float64 {
+	switch {
+	case x < 0:
+		return 0
+	case x > 1:
+		return 1
+	default:
+		return x
+	}
+}
+
+func TestKSStatisticPerfectFit(t *testing.T) {
+	// Evenly spread points minimize D: for x_i = (i-0.5)/n, D = 1/(2n).
+	n := 100
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = (float64(i) + 0.5) / float64(n)
+	}
+	d := KSStatistic(xs, uniformCDF)
+	if math.Abs(d-1.0/(2*float64(n))) > 1e-12 {
+		t.Fatalf("D = %v, want %v", d, 1.0/(2*float64(n)))
+	}
+}
+
+func TestKSStatisticGrossMisfit(t *testing.T) {
+	// All mass at 0.99 vs uniform: D ≈ 0.99.
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = 0.99
+	}
+	if d := KSStatistic(xs, uniformCDF); d < 0.9 {
+		t.Fatalf("D = %v for a gross misfit", d)
+	}
+}
+
+func TestKSStatisticUnsortedInputUnchanged(t *testing.T) {
+	xs := []float64{0.9, 0.1, 0.5}
+	KSStatistic(xs, uniformCDF)
+	if xs[0] != 0.9 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestKSPValueRanges(t *testing.T) {
+	if p := KSPValue(0, 100); p != 1 {
+		t.Fatalf("p(0) = %v", p)
+	}
+	if p := KSPValue(0.5, 100); p > 1e-6 {
+		t.Fatalf("p(0.5, n=100) = %v, want ~0", p)
+	}
+	// Typical statistic near 1.36/sqrt(n) has p ~ 0.05.
+	n := 400
+	d := 1.358 / math.Sqrt(float64(n))
+	if p := KSPValue(d, n); math.Abs(p-0.05) > 0.01 {
+		t.Fatalf("p at the 5%% critical value = %v", p)
+	}
+}
+
+func TestKSPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { KSStatistic(nil, uniformCDF) },
+		func() { KSPValue(0.1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

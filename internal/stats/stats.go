@@ -1,0 +1,365 @@
+// Package stats provides the statistical machinery used to measure and
+// report churnnet experiments: streaming moment accumulators, quantiles,
+// histograms, least-squares fits (including the T = a + b·ln n fits used for
+// logarithmic flooding-time claims), KL divergence (the paper's
+// "demographics" tool in the proof of Theorem 4.16) and simple confidence
+// intervals.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accumulator computes streaming mean and variance with Welford's algorithm,
+// plus min/max. The zero value is ready to use.
+type Accumulator struct {
+	n          int
+	mean, m2   float64
+	min, max   float64
+	everWasSet bool
+}
+
+// Add inserts one observation.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+	if !a.everWasSet || x < a.min {
+		a.min = x
+	}
+	if !a.everWasSet || x > a.max {
+		a.max = x
+	}
+	a.everWasSet = true
+}
+
+// AddN inserts every value in xs.
+func (a *Accumulator) AddN(xs ...float64) {
+	for _, x := range xs {
+		a.Add(x)
+	}
+}
+
+// N returns the number of observations.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the sample mean (0 if empty).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance returns the unbiased sample variance (0 if fewer than two
+// observations).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// Min returns the smallest observation (0 if empty).
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest observation (0 if empty).
+func (a *Accumulator) Max() float64 { return a.max }
+
+// StdErr returns the standard error of the mean.
+func (a *Accumulator) StdErr() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// CI95 returns a normal-approximation 95% confidence interval for the mean.
+func (a *Accumulator) CI95() (lo, hi float64) {
+	h := 1.96 * a.StdErr()
+	return a.mean - h, a.mean + h
+}
+
+// String summarizes the accumulator for reports.
+func (a *Accumulator) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g",
+		a.n, a.Mean(), a.StdDev(), a.Min(), a.Max())
+}
+
+// Mean returns the arithmetic mean of xs (0 if empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs.
+func Variance(xs []float64) float64 {
+	var a Accumulator
+	a.AddN(xs...)
+	return a.Variance()
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It panics on an empty slice or a
+// q outside [0, 1]. xs is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic("stats: Quantile requires q in [0,1]")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// Quantiles returns the qs-quantiles of xs with a single sort.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantiles of empty slice")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		if q < 0 || q > 1 {
+			panic("stats: Quantiles requires q in [0,1]")
+		}
+		out[i] = quantileSorted(sorted, q)
+	}
+	return out
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 0.5-quantile of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi); values outside
+// the range are counted in Under/Over.
+type Histogram struct {
+	Lo, Hi      float64
+	Counts      []int
+	Under, Over int
+	total       int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over [lo, hi).
+// It panics if bins <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic("stats: NewHistogram requires bins > 0")
+	}
+	if hi <= lo {
+		panic("stats: NewHistogram requires hi > lo")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add counts one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i >= len(h.Counts) { // guard against float rounding at the edge
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of observations, including out-of-range ones.
+func (h *Histogram) Total() int { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Fraction returns the fraction of all observations that fell in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}
+
+// LinFit holds an ordinary-least-squares fit y = A + B·x.
+type LinFit struct {
+	A, B float64
+	R2   float64
+	N    int
+}
+
+// LinReg fits y = A + B·x by least squares. It panics if the slices differ
+// in length or hold fewer than two points.
+func LinReg(xs, ys []float64) LinFit {
+	if len(xs) != len(ys) {
+		panic("stats: LinReg slice length mismatch")
+	}
+	n := len(xs)
+	if n < 2 {
+		panic("stats: LinReg needs at least 2 points")
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		panic("stats: LinReg with constant x")
+	}
+	b := sxy / sxx
+	fit := LinFit{A: my - b*mx, B: b, N: n}
+	if syy > 0 {
+		fit.R2 = sxy * sxy / (sxx * syy)
+	} else {
+		fit.R2 = 1 // all ys equal: the flat fit is exact
+	}
+	return fit
+}
+
+// LogFit fits y = A + B·ln(x): the functional form of the paper's O(log n)
+// flooding-time results. All xs must be positive.
+func LogFit(xs, ys []float64) LinFit {
+	lx := make([]float64, len(xs))
+	for i, x := range xs {
+		if x <= 0 {
+			panic("stats: LogFit requires positive x")
+		}
+		lx[i] = math.Log(x)
+	}
+	return LinReg(lx, ys)
+}
+
+// Eval returns A + B·x.
+func (f LinFit) Eval(x float64) float64 { return f.A + f.B*x }
+
+// EvalLog returns A + B·ln(x), for fits produced by LogFit.
+func (f LinFit) EvalLog(x float64) float64 { return f.A + f.B*math.Log(x) }
+
+// KLDivergence returns D(p || q) = Σ p_i · log2(p_i / q_i) in bits, the
+// quantity the paper's Theorem 4.16 proof bounds (Theorem A.3). Entries
+// with p_i = 0 contribute zero. It panics if the slices differ in length,
+// if some p_i > 0 has q_i = 0, or if either is not a probability vector
+// within tolerance.
+func KLDivergence(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("stats: KLDivergence length mismatch")
+	}
+	checkDistribution(p, "p")
+	checkDistribution(q, "q")
+	d := 0.0
+	for i := range p {
+		if p[i] == 0 {
+			continue
+		}
+		if q[i] == 0 {
+			panic("stats: KLDivergence with p>0 where q=0 is infinite")
+		}
+		d += p[i] * math.Log2(p[i]/q[i])
+	}
+	if d < 0 && d > -1e-12 { // clamp tiny negative rounding noise
+		d = 0
+	}
+	return d
+}
+
+func checkDistribution(p []float64, name string) {
+	sum := 0.0
+	for _, v := range p {
+		if v < 0 {
+			panic("stats: KLDivergence " + name + " has a negative entry")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		panic("stats: KLDivergence " + name + " does not sum to 1")
+	}
+}
+
+// Normalize scales xs to sum to 1, returning a new slice. It panics if the
+// sum is not positive.
+func Normalize(xs []float64) []float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	if sum <= 0 {
+		panic("stats: Normalize requires positive sum")
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x / sum
+	}
+	return out
+}
+
+// FractionTrue returns the fraction of true values: the estimator we use
+// for every "with high probability" claim in the paper.
+func FractionTrue(bs []bool) float64 {
+	if len(bs) == 0 {
+		return 0
+	}
+	k := 0
+	for _, b := range bs {
+		if b {
+			k++
+		}
+	}
+	return float64(k) / float64(len(bs))
+}
+
+// WilsonInterval returns the 95% Wilson score interval for a proportion with
+// k successes out of n trials — a better small-sample interval than the
+// normal approximation for the success probabilities we report.
+func WilsonInterval(k, n int) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	const z = 1.96
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	center := (p + z*z/(2*nf)) / denom
+	half := z * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf)) / denom
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}

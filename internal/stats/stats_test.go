@@ -1,0 +1,362 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAccumulatorKnownData(t *testing.T) {
+	var a Accumulator
+	a.AddN(2, 4, 4, 4, 5, 5, 7, 9)
+	if a.N() != 8 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if !almostEqual(a.Mean(), 5, 1e-12) {
+		t.Fatalf("mean = %v", a.Mean())
+	}
+	// Population variance is 4; sample variance is 32/7.
+	if !almostEqual(a.Variance(), 32.0/7.0, 1e-12) {
+		t.Fatalf("variance = %v", a.Variance())
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Variance() != 0 || a.StdErr() != 0 {
+		t.Fatal("empty accumulator should report zeros")
+	}
+}
+
+func TestAccumulatorSingle(t *testing.T) {
+	var a Accumulator
+	a.Add(3.5)
+	if a.Variance() != 0 {
+		t.Fatal("variance of one observation must be 0")
+	}
+	if a.Min() != 3.5 || a.Max() != 3.5 {
+		t.Fatal("min/max of single observation")
+	}
+}
+
+func TestAccumulatorNegativeValues(t *testing.T) {
+	var a Accumulator
+	a.AddN(-5, -1, -3)
+	if a.Min() != -5 || a.Max() != -1 {
+		t.Fatalf("min/max with negatives: %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestCI95CoversMean(t *testing.T) {
+	var a Accumulator
+	for i := 0; i < 1000; i++ {
+		a.Add(float64(i % 10))
+	}
+	lo, hi := a.CI95()
+	if lo > a.Mean() || hi < a.Mean() {
+		t.Fatalf("CI [%v,%v] does not cover mean %v", lo, hi, a.Mean())
+	}
+}
+
+func TestQuickAccumulatorMatchesBatch(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		var a Accumulator
+		for i, v := range raw {
+			xs[i] = float64(v)
+			a.Add(xs[i])
+		}
+		return almostEqual(a.Mean(), Mean(xs), 1e-6*(1+math.Abs(Mean(xs)))) &&
+			almostEqual(a.Variance(), Variance(xs), 1e-6*(1+a.Variance()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileKnown(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Quantile(xs, 0.5); got != 3 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Fatalf("q25 = %v", got)
+	}
+	// Interpolation between order statistics.
+	if got := Quantile([]float64{0, 10}, 0.3); !almostEqual(got, 3, 1e-12) {
+		t.Fatalf("interpolated quantile = %v", got)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Quantile mutated input")
+	}
+}
+
+func TestQuantilesMatchQuantile(t *testing.T) {
+	xs := []float64{9, 1, 7, 3, 5}
+	qs := []float64{0, 0.25, 0.5, 0.75, 1}
+	batch := Quantiles(xs, qs...)
+	for i, q := range qs {
+		if batch[i] != Quantile(xs, q) {
+			t.Fatalf("Quantiles[%v] = %v != Quantile %v", q, batch[i], Quantile(xs, q))
+		}
+	}
+}
+
+func TestMedianSingleton(t *testing.T) {
+	if Median([]float64{42}) != 42 {
+		t.Fatal("median of singleton")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1.9, 2, 5, 9.99, -1, 10, 11} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("under/over = %d/%d", h.Under, h.Over)
+	}
+	want := []int{2, 1, 1, 0, 1}
+	for i, c := range want {
+		if h.Counts[i] != c {
+			t.Fatalf("bin %d = %d, want %d (all: %v)", i, h.Counts[i], c, h.Counts)
+		}
+	}
+	if h.Total() != 8 {
+		t.Fatalf("total = %d", h.Total())
+	}
+}
+
+func TestHistogramBinCenter(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	if got := h.BinCenter(0); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("center 0 = %v", got)
+	}
+	if got := h.BinCenter(4); !almostEqual(got, 9, 1e-12) {
+		t.Fatalf("center 4 = %v", got)
+	}
+}
+
+func TestHistogramFraction(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	h.Add(0.1)
+	h.Add(0.2)
+	h.Add(0.7)
+	h.Add(5) // over
+	if got := h.Fraction(0); !almostEqual(got, 0.5, 1e-12) {
+		t.Fatalf("fraction = %v", got)
+	}
+}
+
+func TestHistogramEdgeRounding(t *testing.T) {
+	// A value infinitesimally below Hi must land in the last bin, not panic.
+	h := NewHistogram(0, 1, 3)
+	h.Add(math.Nextafter(1, 0))
+	if h.Counts[2] != 1 {
+		t.Fatalf("edge value not in last bin: %v", h.Counts)
+	}
+}
+
+func TestLinRegExactLine(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{5, 7, 9, 11} // y = 3 + 2x
+	fit := LinReg(xs, ys)
+	if !almostEqual(fit.A, 3, 1e-9) || !almostEqual(fit.B, 2, 1e-9) {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if !almostEqual(fit.R2, 1, 1e-9) {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+	if !almostEqual(fit.Eval(10), 23, 1e-9) {
+		t.Fatalf("Eval = %v", fit.Eval(10))
+	}
+}
+
+func TestLinRegNoisyR2(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	ys := []float64{2, 4, 5, 8, 9, 13}
+	fit := LinReg(xs, ys)
+	if fit.R2 <= 0.9 || fit.R2 > 1 {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+	if fit.B <= 0 {
+		t.Fatalf("slope = %v", fit.B)
+	}
+}
+
+func TestLinRegConstantY(t *testing.T) {
+	fit := LinReg([]float64{1, 2, 3}, []float64{7, 7, 7})
+	if !almostEqual(fit.B, 0, 1e-12) || !almostEqual(fit.A, 7, 1e-12) || fit.R2 != 1 {
+		t.Fatalf("constant fit = %+v", fit)
+	}
+}
+
+func TestLogFitExact(t *testing.T) {
+	// y = 1 + 4 ln x.
+	xs := []float64{1, math.E, math.E * math.E, 10}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 1 + 4*math.Log(x)
+	}
+	fit := LogFit(xs, ys)
+	if !almostEqual(fit.A, 1, 1e-9) || !almostEqual(fit.B, 4, 1e-9) {
+		t.Fatalf("log fit = %+v", fit)
+	}
+	if !almostEqual(fit.EvalLog(100), 1+4*math.Log(100), 1e-9) {
+		t.Fatal("EvalLog mismatch")
+	}
+}
+
+func TestLogFitRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LogFit with x=0 did not panic")
+		}
+	}()
+	LogFit([]float64{0, 1}, []float64{1, 2})
+}
+
+func TestKLDivergenceProperties(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	if got := KLDivergence(p, p); got != 0 {
+		t.Fatalf("D(p||p) = %v", got)
+	}
+	q := []float64{0.9, 0.1}
+	if got := KLDivergence(p, q); got <= 0 {
+		t.Fatalf("D(p||q) = %v, want > 0", got)
+	}
+	// Known value: D([1,0] || [0.5,0.5]) = 1 bit.
+	if got := KLDivergence([]float64{1, 0}, []float64{0.5, 0.5}); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("D = %v, want 1", got)
+	}
+}
+
+func TestKLDivergenceNonNegativeQuick(t *testing.T) {
+	// Gibbs' inequality (paper Theorem A.3): D(p||q) >= 0 always.
+	f := func(raw [6]uint8) bool {
+		var p, q [3]float64
+		sp, sq := 0.0, 0.0
+		for i := 0; i < 3; i++ {
+			p[i] = float64(raw[i]) + 1 // strictly positive
+			q[i] = float64(raw[i+3]) + 1
+			sp += p[i]
+			sq += q[i]
+		}
+		for i := 0; i < 3; i++ {
+			p[i] /= sp
+			q[i] /= sq
+		}
+		return KLDivergence(p[:], q[:]) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKLDivergencePanics(t *testing.T) {
+	cases := []func(){
+		func() { KLDivergence([]float64{1}, []float64{0.5, 0.5}) },
+		func() { KLDivergence([]float64{0.5, 0.5}, []float64{1, 0}) },
+		func() { KLDivergence([]float64{0.7, 0.7}, []float64{0.5, 0.5}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out := Normalize([]float64{1, 3})
+	if !almostEqual(out[0], 0.25, 1e-12) || !almostEqual(out[1], 0.75, 1e-12) {
+		t.Fatalf("Normalize = %v", out)
+	}
+}
+
+func TestFractionTrue(t *testing.T) {
+	if FractionTrue(nil) != 0 {
+		t.Fatal("empty fraction")
+	}
+	if got := FractionTrue([]bool{true, false, true, true}); !almostEqual(got, 0.75, 1e-12) {
+		t.Fatalf("fraction = %v", got)
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	lo, hi := WilsonInterval(50, 100)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Fatalf("Wilson [%v,%v] must bracket 0.5", lo, hi)
+	}
+	if lo < 0.38 || hi > 0.62 {
+		t.Fatalf("Wilson [%v,%v] too wide for n=100", lo, hi)
+	}
+	// Degenerate cases stay in [0,1].
+	lo, hi = WilsonInterval(0, 10)
+	if lo != 0 || hi <= 0 || hi > 1 {
+		t.Fatalf("Wilson(0,10) = [%v,%v]", lo, hi)
+	}
+	lo, hi = WilsonInterval(10, 10)
+	if hi != 1 || lo >= 1 || lo < 0 {
+		t.Fatalf("Wilson(10,10) = [%v,%v]", lo, hi)
+	}
+	lo, hi = WilsonInterval(0, 0)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("Wilson(0,0) = [%v,%v]", lo, hi)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+}
+
+func TestAccumulatorString(t *testing.T) {
+	var a Accumulator
+	a.AddN(1, 2, 3)
+	s := a.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}

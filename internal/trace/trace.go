@@ -1,0 +1,156 @@
+// Package trace records per-round time series of model observables
+// (population, edges, degrees, isolation, ...) and writes them as CSV —
+// the raw material for plotting trajectories of any experiment.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/dyngraph/churnnet/internal/analysis"
+	"github.com/dyngraph/churnnet/internal/core"
+)
+
+// Probe samples one observable from a model.
+type Probe struct {
+	Name   string
+	Sample func(m core.Model) float64
+}
+
+// Standard probes.
+var (
+	// ProbeTime records model time.
+	ProbeTime = Probe{Name: "time", Sample: func(m core.Model) float64 { return m.Now() }}
+	// ProbeSize records the alive population.
+	ProbeSize = Probe{Name: "size", Sample: func(m core.Model) float64 {
+		return float64(m.Graph().NumAlive())
+	}}
+	// ProbeEdges records the live edge count.
+	ProbeEdges = Probe{Name: "edges", Sample: func(m core.Model) float64 {
+		return float64(m.Graph().NumEdgesLive())
+	}}
+	// ProbeMeanDegree records the mean live degree.
+	ProbeMeanDegree = Probe{Name: "mean_degree", Sample: func(m core.Model) float64 {
+		return analysis.Degrees(m.Graph()).Mean
+	}}
+	// ProbeMaxDegree records the maximum live degree.
+	ProbeMaxDegree = Probe{Name: "max_degree", Sample: func(m core.Model) float64 {
+		return float64(analysis.Degrees(m.Graph()).Max)
+	}}
+	// ProbeIsolated records the isolated-node fraction.
+	ProbeIsolated = Probe{Name: "isolated_fraction", Sample: func(m core.Model) float64 {
+		return analysis.IsolatedFraction(m.Graph())
+	}}
+)
+
+// DefaultProbes returns the standard probe set.
+func DefaultProbes() []Probe {
+	return []Probe{ProbeTime, ProbeSize, ProbeEdges, ProbeMeanDegree, ProbeMaxDegree, ProbeIsolated}
+}
+
+// Recorder accumulates samples of a fixed probe set.
+type Recorder struct {
+	probes []Probe
+	rows   [][]float64
+}
+
+// NewRecorder builds a recorder over the probes (DefaultProbes if none).
+func NewRecorder(probes ...Probe) *Recorder {
+	if len(probes) == 0 {
+		probes = DefaultProbes()
+	}
+	return &Recorder{probes: probes}
+}
+
+// Sample records one row from the model's current state.
+func (r *Recorder) Sample(m core.Model) {
+	row := make([]float64, len(r.probes))
+	for i, p := range r.probes {
+		row[i] = p.Sample(m)
+	}
+	r.rows = append(r.rows, row)
+}
+
+// Run samples the current state, then advances the model `rounds` times,
+// sampling after each round (rounds+1 rows in total).
+func (r *Recorder) Run(m core.Model, rounds int) {
+	r.Sample(m)
+	for i := 0; i < rounds; i++ {
+		m.AdvanceRound()
+		r.Sample(m)
+	}
+}
+
+// Len returns the number of recorded rows.
+func (r *Recorder) Len() int { return len(r.rows) }
+
+// Columns returns the probe names in order.
+func (r *Recorder) Columns() []string {
+	out := make([]string, len(r.probes))
+	for i, p := range r.probes {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// Column returns the series of the named probe, or nil if unknown.
+func (r *Recorder) Column(name string) []float64 {
+	for i, p := range r.probes {
+		if p.Name == name {
+			out := make([]float64, len(r.rows))
+			for j, row := range r.rows {
+				out[j] = row[i]
+			}
+			return out
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits the recorded series with a header row.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	for i, p := range r.probes {
+		if i > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, p.Name); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	for _, row := range r.rows {
+		for i, v := range row {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if _, err := io.WriteString(w, strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary renders a short human-readable digest (first/last value per
+// probe).
+func (r *Recorder) Summary() string {
+	if len(r.rows) == 0 {
+		return "trace: empty"
+	}
+	s := ""
+	first, last := r.rows[0], r.rows[len(r.rows)-1]
+	for i, p := range r.probes {
+		s += fmt.Sprintf("%s: %.4g -> %.4g\n", p.Name, first[i], last[i])
+	}
+	return s
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/dyngraph/churnnet/internal/core"
+	"github.com/dyngraph/churnnet/internal/rng"
+)
+
+func TestRecorderRun(t *testing.T) {
+	m := core.NewStreaming(100, 3, true, rng.New(1))
+	m.WarmUp()
+	r := NewRecorder()
+	r.Run(m, 10)
+	if r.Len() != 11 {
+		t.Fatalf("rows %d", r.Len())
+	}
+	size := r.Column("size")
+	if len(size) != 11 {
+		t.Fatalf("size column %v", size)
+	}
+	for _, v := range size {
+		if v != 100 {
+			t.Fatalf("streaming size %v", v)
+		}
+	}
+	tm := r.Column("time")
+	for i := 1; i < len(tm); i++ {
+		if tm[i] != tm[i-1]+1 {
+			t.Fatalf("time not unit-stepped: %v", tm)
+		}
+	}
+}
+
+func TestRecorderCustomProbes(t *testing.T) {
+	m := core.NewStreaming(50, 2, false, rng.New(2))
+	m.WarmUp()
+	calls := 0
+	r := NewRecorder(Probe{Name: "x", Sample: func(core.Model) float64 { calls++; return 7 }})
+	r.Sample(m)
+	r.Sample(m)
+	if calls != 2 {
+		t.Fatalf("probe calls %d", calls)
+	}
+	if got := r.Column("x"); len(got) != 2 || got[0] != 7 {
+		t.Fatalf("column %v", got)
+	}
+	if r.Column("nope") != nil {
+		t.Fatal("unknown column must be nil")
+	}
+}
+
+func TestRecorderCSV(t *testing.T) {
+	m := core.NewStreaming(20, 2, true, rng.New(3))
+	m.WarmUp()
+	r := NewRecorder(ProbeTime, ProbeSize)
+	r.Run(m, 2)
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines %v", lines)
+	}
+	if lines[0] != "time,size" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.HasSuffix(lines[1], ",20") {
+		t.Fatalf("row %q", lines[1])
+	}
+}
+
+func TestDefaultProbesCoverObservables(t *testing.T) {
+	names := map[string]bool{}
+	for _, p := range DefaultProbes() {
+		names[p.Name] = true
+	}
+	for _, want := range []string{"time", "size", "edges", "mean_degree", "max_degree", "isolated_fraction"} {
+		if !names[want] {
+			t.Fatalf("missing default probe %s", want)
+		}
+	}
+	if got := NewRecorder().Columns(); len(got) != len(DefaultProbes()) {
+		t.Fatalf("columns %v", got)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	r := NewRecorder(ProbeTime)
+	if !strings.Contains(r.Summary(), "empty") {
+		t.Fatal("empty summary")
+	}
+	m := core.NewStreaming(10, 1, false, rng.New(4))
+	m.WarmUp()
+	r.Run(m, 3)
+	if !strings.Contains(r.Summary(), "time") {
+		t.Fatalf("summary %q", r.Summary())
+	}
+}
