@@ -51,6 +51,41 @@ func BenchmarkF22BoundedDegree(b *testing.B)              { benchExperiment(b, "
 func BenchmarkF23GiantComponent(b *testing.B)             { benchExperiment(b, "F23") }
 func BenchmarkF24OverlayAblation(b *testing.B)            { benchExperiment(b, "F24") }
 
+// Serial-vs-parallel suite benchmarks. The trial engine guarantees
+// bit-identical output at every parallelism, so these measure pure
+// wall-clock: Serial pins Parallelism=1 (the old per-experiment loops),
+// Parallel uses every core. Expect the Parallel variants to approach a
+// GOMAXPROCS-fold speedup on the trial-dominated experiments (run with
+// -benchtime=1x for one timed pass of the whole suite).
+
+func benchSuite(b *testing.B, scale churnnet.Scale, parallelism int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		for _, e := range churnnet.Experiments() {
+			tab, err := churnnet.RunExperimentWith(e.ID, churnnet.ExperimentConfig{
+				Scale: scale, Seed: uint64(i), Parallelism: parallelism,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(tab.Rows) == 0 {
+				b.Fatalf("%s produced no rows", e.ID)
+			}
+		}
+	}
+}
+
+func BenchmarkSuiteSmokeSerial(b *testing.B)   { benchSuite(b, churnnet.ScaleSmoke, 1) }
+func BenchmarkSuiteSmokeParallel(b *testing.B) { benchSuite(b, churnnet.ScaleSmoke, 0) }
+
+// The standard-scale pair runs the full tablegen workload and takes
+// minutes per pass; select it explicitly, e.g.
+//
+//	go test -bench 'SuiteStandard' -benchtime 1x -timeout 2h
+
+func BenchmarkSuiteStandardSerial(b *testing.B)   { benchSuite(b, churnnet.ScaleStandard, 1) }
+func BenchmarkSuiteStandardParallel(b *testing.B) { benchSuite(b, churnnet.ScaleStandard, 0) }
+
 // Library-level micro-benchmarks: the building blocks downstream users pay
 // for most often.
 

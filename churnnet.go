@@ -296,26 +296,49 @@ func ParseScale(s string) (Scale, error) { return experiments.ParseScale(s) }
 // Experiment is one entry of the reproduction suite.
 type Experiment = experiments.Experiment
 
+// ExperimentConfig parameterizes experiment execution: scale, root seed,
+// the trial-parallelism cap (0 = GOMAXPROCS, 1 = serial) and an optional
+// per-trial progress callback. Results are bit-identical at every
+// parallelism setting.
+type ExperimentConfig = experiments.Config
+
 // ResultTable is a rendered experiment result.
 type ResultTable = report.Table
 
 // ResultReport is the full suite output.
 type ResultReport = report.Report
 
-// Experiments lists the suite in order (T1, F1..F20).
+// Experiments lists the suite in order (T1, F1..F24).
 func Experiments() []Experiment { return experiments.All() }
 
-// RunExperiment executes one experiment by ID.
+// RunExperiment executes one experiment by ID on all available cores.
 func RunExperiment(id string, scale Scale, seed uint64) (*ResultTable, error) {
+	return RunExperimentWith(id, ExperimentConfig{Scale: scale, Seed: seed})
+}
+
+// RunExperimentWith executes one experiment by ID under the full config.
+func RunExperimentWith(id string, cfg ExperimentConfig) (*ResultTable, error) {
 	e, ok := experiments.ByID(id)
 	if !ok {
 		return nil, fmt.Errorf("churnnet: unknown experiment %q", id)
 	}
-	return e.Run(experiments.Config{Scale: scale, Seed: seed}), nil
+	return e.Run(cfg), nil
 }
 
-// RunAllExperiments executes the whole suite and returns the report whose
-// Markdown form is EXPERIMENTS.md.
+// RunAllExperiments executes the whole suite on all available cores and
+// returns the report whose Markdown form is EXPERIMENTS.md.
 func RunAllExperiments(scale Scale, seed uint64) *ResultReport {
-	return experiments.RunAll(experiments.Config{Scale: scale, Seed: seed})
+	return RunAllExperimentsWith(ExperimentConfig{Scale: scale, Seed: seed})
+}
+
+// RunAllExperimentsWith executes the whole suite under the full config.
+func RunAllExperimentsWith(cfg ExperimentConfig) *ResultReport {
+	return experiments.RunAll(cfg)
+}
+
+// NewExperimentReport returns the empty suite report (title and intro) for
+// cfg — for callers such as cmd/tablegen that run experiments one at a
+// time and want per-experiment progress.
+func NewExperimentReport(cfg ExperimentConfig) *ResultReport {
+	return experiments.NewReport(cfg)
 }

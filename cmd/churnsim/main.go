@@ -2,9 +2,15 @@
 // it, and prints snapshot statistics: population, edges, degree
 // distribution, isolated nodes and age demographics.
 //
+// With -trials k > 1 it builds k independently seeded replicas of the
+// model on a parallel worker pool (capped by -par) and prints per-replica
+// plus aggregate snapshot statistics — a quick Monte-Carlo sweep without
+// the full experiment suite.
+//
 // Usage:
 //
 //	churnsim -model PDGR -n 10000 -d 35 -rounds 100 -seed 1
+//	churnsim -model SDG -n 5000 -d 3 -trials 8 -par 4
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 	"strings"
 
 	churnnet "github.com/dyngraph/churnnet"
+	"github.com/dyngraph/churnnet/internal/runner"
 )
 
 func main() {
@@ -25,6 +32,8 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "deterministic seed")
 		expand    = flag.Bool("expansion", false, "also estimate vertex expansion (slower)")
 		traceFile = flag.String("trace", "", "write a per-round CSV time series to this file")
+		trials    = flag.Int("trials", 1, "independent replicas to build (seeds seed, seed+1, ...)")
+		par       = flag.Int("par", 0, "worker-pool size for -trials (0 = all cores)")
 	)
 	flag.Parse()
 
@@ -32,6 +41,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "churnsim:", err)
 		os.Exit(2)
+	}
+
+	if *trials > 1 {
+		if *expand || *traceFile != "" {
+			fmt.Fprintln(os.Stderr, "churnsim: -expansion and -trace apply to single-model runs; drop them or use -trials 1")
+			os.Exit(2)
+		}
+		runTrials(kind, *n, *d, *rounds, *seed, *trials, *par)
+		return
 	}
 
 	fmt.Printf("building %s with n=%d, d=%d (seed %d)...\n", kind, *n, *d, *seed)
@@ -91,6 +109,44 @@ func main() {
 			fmt.Printf("  sizes %6d..%-6d  min %.3f (witness %d)\n", band[0], band[1], v, bw.Size)
 		}
 	}
+}
+
+// runTrials builds `trials` independently seeded replicas on the worker
+// pool and prints per-replica and aggregate snapshot statistics.
+func runTrials(kind churnnet.ModelKind, n, d, rounds int, seed uint64, trials, par int) {
+	fmt.Printf("building %d × %s with n=%d, d=%d (seeds %d..%d, parallelism %d)...\n",
+		trials, kind, n, d, seed, seed+uint64(trials)-1, par)
+
+	type snapshot struct {
+		pop, edges, isolated int
+		meanDeg              float64
+	}
+	snaps := runner.MapIndexed(runner.Config{Workers: par}, trials, func(i int) snapshot {
+		m := churnnet.NewWarmModel(kind, n, d, seed+uint64(i))
+		for r := 0; r < rounds; r++ {
+			m.AdvanceRound()
+		}
+		g := m.Graph()
+		ds := churnnet.Degrees(g)
+		return snapshot{
+			pop:      g.NumAlive(),
+			edges:    g.NumEdgesLive(),
+			isolated: ds.Isolated,
+			meanDeg:  ds.Mean,
+		}
+	})
+
+	fmt.Printf("\n  %-6s %10s %12s %12s %10s\n", "trial", "population", "live edges", "mean degree", "isolated")
+	var popSum, edgeSum, isoSum, degSum float64
+	for i, s := range snaps {
+		fmt.Printf("  %-6d %10d %12d %12.2f %10d\n", i, s.pop, s.edges, s.meanDeg, s.isolated)
+		popSum += float64(s.pop)
+		edgeSum += float64(s.edges)
+		isoSum += float64(s.isolated)
+		degSum += s.meanDeg
+	}
+	k := float64(trials)
+	fmt.Printf("  %-6s %10.1f %12.1f %12.2f %10.1f\n", "mean", popSum/k, edgeSum/k, degSum/k, isoSum/k)
 }
 
 func parseKind(s string) (churnnet.ModelKind, error) {

@@ -1,13 +1,17 @@
 // Command tablegen regenerates the paper's tables and figures (the
-// reproduction suite T1, F1..F20) and writes them as Markdown, CSV or
+// reproduction suite T1, F1..F24) and writes them as Markdown, CSV or
 // aligned text. Its Markdown output at -scale standard is the source of
 // EXPERIMENTS.md.
+//
+// Trials run on all cores by default; results are bit-identical at any
+// -par setting, including -par 1.
 //
 // Usage:
 //
 //	tablegen                       # full suite, markdown, stdout
 //	tablegen -scale paper -o EXPERIMENTS.md
 //	tablegen -id F10 -format text  # one experiment, terminal table
+//	tablegen -par 1 -progress      # serial run with live trial ticks
 //	tablegen -list
 package main
 
@@ -28,6 +32,8 @@ func main() {
 		format    = flag.String("format", "markdown", "markdown, csv or text")
 		out       = flag.String("o", "", "output file (default stdout)")
 		list      = flag.Bool("list", false, "list the experiment suite and exit")
+		par       = flag.Int("par", 0, "trial parallelism (0 = all cores, 1 = serial; output is identical either way)")
+		progress  = flag.Bool("progress", false, "report per-trial progress on stderr")
 	)
 	flag.Parse()
 
@@ -42,6 +48,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	cfg := churnnet.ExperimentConfig{Scale: scale, Seed: *seed, Parallelism: *par}
 
 	w := os.Stdout
 	if *out != "" {
@@ -55,7 +62,10 @@ func main() {
 
 	start := time.Now()
 	if *id != "" {
-		tab, err := churnnet.RunExperiment(*id, scale, *seed)
+		if *progress {
+			cfg.Progress = progressLine(*id)
+		}
+		tab, err := churnnet.RunExperimentWith(*id, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -71,7 +81,21 @@ func main() {
 		return
 	}
 
-	rep := churnnet.RunAllExperiments(scale, *seed)
+	rep := churnnet.NewExperimentReport(cfg)
+	for _, e := range churnnet.Experiments() {
+		ecfg := cfg
+		if *progress {
+			ecfg.Progress = progressLine(e.ID)
+		}
+		expStart := time.Now()
+		tab, err := churnnet.RunExperimentWith(e.ID, ecfg)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Add(tab)
+		fmt.Fprintf(os.Stderr, "tablegen: %-4s done in %v\n", e.ID,
+			time.Since(expStart).Round(time.Millisecond))
+	}
 	switch *format {
 	case "csv":
 		for _, tab := range rep.Tables {
@@ -86,6 +110,19 @@ func main() {
 		fmt.Fprintf(w, notes, *seed)
 	}
 	fmt.Fprintf(os.Stderr, "tablegen: suite done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// progressLine returns a Progress callback that rewrites one stderr line
+// with the experiment's completed/total trial count.
+func progressLine(id string) func(done, total int) {
+	return func(done, total int) {
+		fmt.Fprintf(os.Stderr, "\rtablegen: %-4s %d/%d trials", id, done, total)
+		if done == total {
+			// Blank the line so the following "done in ..." line does
+			// not inherit a stale tail.
+			fmt.Fprintf(os.Stderr, "\r%*s\r", 40, "")
+		}
+	}
 }
 
 // notes is the reproduction appendix emitted after the full markdown suite.

@@ -1,0 +1,3 @@
+module github.com/dyngraph/churnnet
+
+go 1.21

@@ -1,0 +1,62 @@
+// Package dist samples the standard distributions the simulations draw
+// from, on top of the deterministic rng package. All samplers are pure
+// functions of the generator state, so runs stay reproducible bit for bit.
+package dist
+
+import (
+	"math"
+
+	"github.com/dyngraph/churnnet/internal/rng"
+)
+
+// Bernoulli returns true with probability p (clamped to [0, 1]).
+func Bernoulli(r *rng.RNG, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Exponential samples an Exponential(rate) waiting time (mean 1/rate). It
+// panics if rate <= 0.
+func Exponential(r *rng.RNG, rate float64) float64 {
+	if rate <= 0 {
+		panic("dist: Exponential requires rate > 0")
+	}
+	return -math.Log(r.Float64Open()) / rate
+}
+
+// Binomial samples Binomial(n, p): the number of successes in n independent
+// coins of bias p. Sampling is exact (no normal approximation); the
+// geometric skip method costs O(n·min(p, 1−p)) expected time, which is fast
+// for the sparse hit processes simulated here and still acceptable at the
+// suite's largest layer sizes.
+func Binomial(r *rng.RNG, n int, p float64) int {
+	if n < 0 {
+		panic("dist: Binomial requires n >= 0")
+	}
+	if n == 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if p > 0.5 {
+		return n - Binomial(r, n, 1-p)
+	}
+	// Skip over failure runs: each geometric gap ~ floor(ln U / ln(1−p))
+	// counts the failures before the next success.
+	lq := math.Log1p(-p)
+	count, i := 0, 0
+	for {
+		gap := int(math.Log(r.Float64Open()) / lq)
+		i += gap + 1
+		if i > n {
+			return count
+		}
+		count++
+	}
+}

@@ -1,0 +1,120 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"github.com/dyngraph/churnnet/internal/rng"
+)
+
+func TestBernoulliEdges(t *testing.T) {
+	r := rng.New(1)
+	if Bernoulli(r, 0) || Bernoulli(r, -1) {
+		t.Fatal("p <= 0 must be false")
+	}
+	if !Bernoulli(r, 1) || !Bernoulli(r, 2) {
+		t.Fatal("p >= 1 must be true")
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	r := rng.New(2)
+	const trials = 200000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if Bernoulli(r, 0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / trials
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) frequency = %.4f", got)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := rng.New(3)
+	const trials = 200000
+	for _, rate := range []float64{0.5, 1, 10} {
+		sum := 0.0
+		for i := 0; i < trials; i++ {
+			x := Exponential(r, rate)
+			if x < 0 {
+				t.Fatalf("negative waiting time %v", x)
+			}
+			sum += x
+		}
+		mean := sum / trials
+		if math.Abs(mean-1/rate) > 3/(rate*math.Sqrt(trials)) {
+			t.Fatalf("rate %v: mean %.5f, want ~%.5f", rate, mean, 1/rate)
+		}
+	}
+}
+
+func TestExponentialPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rate 0 must panic")
+		}
+	}()
+	Exponential(rng.New(1), 0)
+}
+
+func TestBinomialEdges(t *testing.T) {
+	r := rng.New(4)
+	if Binomial(r, 0, 0.5) != 0 {
+		t.Fatal("n = 0")
+	}
+	if Binomial(r, 10, 0) != 0 {
+		t.Fatal("p = 0")
+	}
+	if Binomial(r, 10, 1) != 10 {
+		t.Fatal("p = 1")
+	}
+	for i := 0; i < 1000; i++ {
+		k := Binomial(r, 7, 0.4)
+		if k < 0 || k > 7 {
+			t.Fatalf("Binomial(7, 0.4) = %d out of range", k)
+		}
+	}
+}
+
+// TestBinomialMoments checks mean and variance against np and np(1−p)
+// across both the direct (p <= 0.5) and mirrored (p > 0.5) paths.
+func TestBinomialMoments(t *testing.T) {
+	r := rng.New(5)
+	const trials = 60000
+	cases := []struct {
+		n int
+		p float64
+	}{
+		{20, 0.05}, {100, 0.3}, {100, 0.7}, {5000, 0.001}, {50, 0.5},
+	}
+	for _, c := range cases {
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < trials; i++ {
+			k := float64(Binomial(r, c.n, c.p))
+			sum += k
+			sumSq += k * k
+		}
+		mean := sum / trials
+		variance := sumSq/trials - mean*mean
+		wantMean := float64(c.n) * c.p
+		wantVar := wantMean * (1 - c.p)
+		if math.Abs(mean-wantMean) > 4*math.Sqrt(wantVar/trials)+1e-9 {
+			t.Errorf("Binomial(%d, %v): mean %.4f, want %.4f", c.n, c.p, mean, wantMean)
+		}
+		if wantVar > 0 && math.Abs(variance-wantVar)/wantVar > 0.1 {
+			t.Errorf("Binomial(%d, %v): variance %.4f, want %.4f", c.n, c.p, variance, wantVar)
+		}
+	}
+}
+
+func TestBinomialDeterministic(t *testing.T) {
+	a, b := rng.New(9), rng.New(9)
+	for i := 0; i < 100; i++ {
+		if Binomial(a, 50, 0.2) != Binomial(b, 50, 0.2) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}

@@ -184,7 +184,9 @@ func (p *Profile) Min() (float64, Witness) {
 }
 
 // MinInRange returns the smallest ratio among witnesses with lo <= size <=
-// hi (+Inf witness if none).
+// hi (+Inf witness if none). Ratio ties break toward the smallest set
+// size, so the returned witness is deterministic (map iteration order must
+// not leak into results — see the determinism contract in DESIGN.md).
 func (p *Profile) MinInRange(lo, hi int) (float64, Witness) {
 	best := math.Inf(1)
 	var w Witness
@@ -192,7 +194,7 @@ func (p *Profile) MinInRange(lo, hi int) (float64, Witness) {
 		if size < lo || size > hi {
 			continue
 		}
-		if cand.Ratio < best {
+		if cand.Ratio < best || (cand.Ratio == best && size < w.Size) {
 			best = cand.Ratio
 			w = cand
 		}

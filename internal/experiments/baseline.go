@@ -30,25 +30,53 @@ func runStaticBaseline(cfg Config) *report.Table {
 
 	ns := cfg.pickInts([]int{400}, []int{1000, 4000}, []int{4000, 16000})
 	trials := cfg.pick(2, 5, 8)
+	ds := []int{3, 4, 8}
 
+	type job struct{ n, d, trial int }
+	var jobs []job
 	for _, n := range ns {
-		for _, d := range []int{3, 4, 8} {
+		for _, d := range ds {
+			for trial := 0; trial < trials; trial++ {
+				jobs = append(jobs, job{n, d, trial})
+			}
+		}
+	}
+	type trialResult struct {
+		ratio     float64
+		witness   expansion.Witness
+		completed bool
+		rounds    float64
+	}
+	results := parMap(cfg, len(jobs), func(i int) trialResult {
+		j := jobs[i]
+		r := cfg.rng(uint64(j.n)<<16 | uint64(j.d)<<8 | uint64(j.trial))
+		g, hs := staticgraph.DOut(j.n, j.d, r)
+		var tr trialResult
+		p := expansion.Estimate(g, r, expCfg(cfg))
+		tr.ratio, tr.witness = p.Min()
+		m := core.NewStaticModel(g, j.d)
+		res := flood.Run(m, flood.Options{Source: hs[r.Intn(len(hs))]})
+		tr.completed = res.Completed
+		tr.rounds = float64(res.CompletionRound)
+		return tr
+	})
+
+	k := 0
+	for _, n := range ns {
+		for _, d := range ds {
 			minRatio := math.Inf(1)
 			var witness expansion.Witness
 			completed := 0
 			var rounds []float64
 			for trial := 0; trial < trials; trial++ {
-				r := cfg.rng(uint64(n)<<16 | uint64(d)<<8 | uint64(trial))
-				g, hs := staticgraph.DOut(n, d, r)
-				p := expansion.Estimate(g, r, expCfg(cfg))
-				if v, w := p.Min(); v < minRatio {
-					minRatio, witness = v, w
+				tr := results[k]
+				k++
+				if tr.ratio < minRatio {
+					minRatio, witness = tr.ratio, tr.witness
 				}
-				m := core.NewStaticModel(g, d)
-				res := flood.Run(m, flood.Options{Source: hs[r.Intn(len(hs))]})
-				if res.Completed {
+				if tr.completed {
 					completed++
-					rounds = append(rounds, float64(res.CompletionRound))
+					rounds = append(rounds, tr.rounds)
 				}
 			}
 			med := math.NaN()

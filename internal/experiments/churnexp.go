@@ -40,26 +40,36 @@ func runPopulation(cfg Config) *report.Table {
 	ns := cfg.pickInts([]int{500}, []int{1000, 10000}, []int{10000, 100000})
 	checkpoints := cfg.pick(50, 400, 1000)
 
-	for _, n := range ns {
+	// Checkpoints walk one population forward in time, so each n is one
+	// sequential job; parallelism is across population sizes.
+	type nResult struct {
+		minR, maxR float64
+		inBand     int
+	}
+	results := parMap(cfg, len(ns), func(i int) nResult {
+		n := ns[i]
 		p := churn.NewPopulation(n, cfg.rng(uint64(n)))
 		p.AdvanceTime(3 * float64(n))
-		minR, maxR := math.Inf(1), math.Inf(-1)
-		inBand := 0
-		for i := 0; i < checkpoints; i++ {
+		nr := nResult{minR: math.Inf(1), maxR: math.Inf(-1)}
+		for c := 0; c < checkpoints; c++ {
 			p.AdvanceTime(float64(n) / 50)
 			r := float64(p.Size()) / float64(n)
-			if r < minR {
-				minR = r
+			if r < nr.minR {
+				nr.minR = r
 			}
-			if r > maxR {
-				maxR = r
+			if r > nr.maxR {
+				nr.maxR = r
 			}
 			if r >= 0.9 && r <= 1.1 {
-				inBand++
+				nr.inBand++
 			}
 		}
-		frac := float64(inBand) / float64(checkpoints)
-		t.AddRow(report.D(n), report.D(checkpoints), report.F2(minR), report.F2(maxR),
+		return nr
+	})
+	for i, n := range ns {
+		nr := results[i]
+		frac := float64(nr.inBand) / float64(checkpoints)
+		t.AddRow(report.D(n), report.D(checkpoints), report.F2(nr.minR), report.F2(nr.maxR),
 			report.Pct(frac), report.Pass(frac >= 0.99))
 	}
 	t.AddNote("checkpoints every n/50 time units after a 3n warm-up, matching the lemma's t ≥ 3n.")
@@ -74,7 +84,11 @@ func runJumpChain(cfg Config) *report.Table {
 	ns := cfg.pickInts([]int{500}, []int{1000, 10000}, []int{10000, 50000})
 	rounds := cfg.pick(20000, 300000, 1000000)
 
-	for _, n := range ns {
+	// The jump chain is one long sequential walk per n; parallelism is
+	// across population sizes.
+	type nResult struct{ birthFrac, scaled float64 }
+	results := parMap(cfg, len(ns), func(i int) nResult {
+		n := ns[i]
 		p := churn.NewPopulation(n, cfg.rng(uint64(n)^0xf15))
 		p.StepRounds(10 * n) // warm to stationarity
 		b0, r0 := p.Births(), p.Round()
@@ -87,13 +101,18 @@ func runJumpChain(cfg Config) *report.Table {
 				deathRate.Add(0)
 			}
 		}
-		birthFrac := float64(p.Births()-b0) / float64(p.Round()-r0)
 		// deathRate.Mean() estimates P(specific node dies in a round) as
 		// E[1{death}/N]; Lemma 4.7 puts it in [1/(2.2n), 1/(1.8n)].
-		scaled := deathRate.Mean() * float64(n)
+		return nResult{
+			birthFrac: float64(p.Births()-b0) / float64(p.Round()-r0),
+			scaled:    deathRate.Mean() * float64(n),
+		}
+	})
+	for i, n := range ns {
+		nr := results[i]
 		t.AddRow(report.D(n), report.D(rounds),
-			report.F(birthFrac), report.Pass(birthFrac >= 0.47 && birthFrac <= 0.53),
-			report.F(scaled), report.Pass(scaled >= 1/2.2 && scaled <= 1/1.8))
+			report.F(nr.birthFrac), report.Pass(nr.birthFrac >= 0.47 && nr.birthFrac <= 0.53),
+			report.F(nr.scaled), report.Pass(nr.scaled >= 1/2.2 && nr.scaled <= 1/1.8))
 	}
 	t.AddNote("per-node death probability estimated as E[1{death}/N] per round, scaled by n.")
 	return t
@@ -106,14 +125,28 @@ func runMaxAge(cfg Config) *report.Table {
 	ns := cfg.pickInts([]int{300}, []int{500, 2000}, []int{2000, 10000})
 	trials := cfg.pick(2, 6, 10)
 
+	type job struct{ n, trial int }
+	var jobs []job
+	for _, n := range ns {
+		for trial := 0; trial < trials; trial++ {
+			jobs = append(jobs, job{n, trial})
+		}
+	}
+	ages := parMap(cfg, len(jobs), func(i int) int {
+		j := jobs[i]
+		p := churn.NewPopulation(j.n, cfg.rng(uint64(j.n)<<8|uint64(j.trial)))
+		p.StepRounds(int(10 * float64(j.n) * math.Log(float64(j.n))))
+		return p.MaxAgeRounds()
+	})
+
+	k := 0
 	for _, n := range ns {
 		bound := 7 * float64(n) * math.Log(float64(n))
 		worst := 0
 		ok := 0
 		for trial := 0; trial < trials; trial++ {
-			p := churn.NewPopulation(n, cfg.rng(uint64(n)<<8|uint64(trial)))
-			p.StepRounds(int(10 * float64(n) * math.Log(float64(n))))
-			age := p.MaxAgeRounds()
+			age := ages[k]
+			k++
 			if age > worst {
 				worst = age
 			}

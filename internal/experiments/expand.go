@@ -55,24 +55,49 @@ func runLargeSetExpansion(cfg Config, kind core.Kind, bandDiv float64) *report.T
 
 	ns := cfg.pickInts([]int{400}, []int{1000, 4000}, []int{4000, 16000})
 	trials := cfg.pick(1, 3, 5)
+	ds := []int{20, 30}
 
+	type job struct{ n, d, trial int }
+	var jobs []job
 	for _, n := range ns {
-		for _, d := range []int{20, 30} {
+		for _, d := range ds {
+			for trial := 0; trial < trials; trial++ {
+				jobs = append(jobs, job{n, d, trial})
+			}
+		}
+	}
+	type trialResult struct {
+		band, below float64
+		witness     expansion.Witness
+	}
+	results := parMap(cfg, len(jobs), func(i int) trialResult {
+		j := jobs[i]
+		salt := uint64(uint8(kind))<<40 | uint64(j.n)<<10 | uint64(j.d)<<4 | uint64(j.trial)
+		m := warm(kind, j.n, j.d, cfg.rng(salt))
+		g := m.Graph()
+		alive := g.NumAlive()
+		lo := int(math.Ceil(float64(j.n) * math.Exp(-float64(j.d)/bandDiv)))
+		p := expansion.Estimate(g, cfg.rng(salt^0xaaaa), expCfg(cfg))
+		var tr trialResult
+		tr.band, tr.witness = p.MinInRange(lo, alive/2)
+		tr.below, _ = p.MinInRange(1, lo-1)
+		return tr
+	})
+
+	k := 0
+	for _, n := range ns {
+		for _, d := range ds {
 			bandMin, belowMin := math.Inf(1), math.Inf(1)
 			var bandWitness expansion.Witness
-			lo := 0
+			lo := int(math.Ceil(float64(n) * math.Exp(-float64(d)/bandDiv)))
 			for trial := 0; trial < trials; trial++ {
-				salt := uint64(uint8(kind))<<40 | uint64(n)<<10 | uint64(d)<<4 | uint64(trial)
-				m := warm(kind, n, d, cfg.rng(salt))
-				g := m.Graph()
-				alive := g.NumAlive()
-				lo = int(math.Ceil(float64(n) * math.Exp(-float64(d)/bandDiv)))
-				p := expansion.Estimate(g, cfg.rng(salt^0xaaaa), expCfg(cfg))
-				if v, w := p.MinInRange(lo, alive/2); v < bandMin {
-					bandMin, bandWitness = v, w
+				tr := results[k]
+				k++
+				if tr.band < bandMin {
+					bandMin, bandWitness = tr.band, tr.witness
 				}
-				if v, _ := p.MinInRange(1, lo-1); v < belowMin {
-					belowMin = v
+				if tr.below < belowMin {
+					belowMin = tr.below
 				}
 			}
 			t.AddRow(report.D(n), report.D(d),
@@ -97,6 +122,40 @@ func runRegenExpansion(cfg Config, kind core.Kind, ds []int) *report.Table {
 	ns := cfg.pickInts([]int{400}, []int{1000, 4000}, []int{4000, 16000})
 	trials := cfg.pick(1, 3, 5)
 
+	type job struct{ n, d, trial int }
+	var jobs []job
+	for _, n := range ns {
+		for _, d := range ds {
+			for trial := 0; trial < trials; trial++ {
+				jobs = append(jobs, job{n, d, trial})
+			}
+		}
+	}
+	type trialResult struct {
+		ratio, gap float64
+		witness    expansion.Witness
+		minDeg     int
+	}
+	results := parMap(cfg, len(jobs), func(i int) trialResult {
+		j := jobs[i]
+		salt := uint64(uint8(kind))<<40 | uint64(j.n)<<10 | uint64(j.d)<<4 | uint64(j.trial)
+		m := warm(kind, j.n, j.d, cfg.rng(salt))
+		g := m.Graph()
+		var tr trialResult
+		p := expansion.Estimate(g, cfg.rng(salt^0xbbbb), expCfg(cfg))
+		tr.ratio, tr.witness = p.Min()
+		tr.gap = expansion.SpectralGap(g, 60, cfg.rng(salt^0xeeee))
+		tr.minDeg = math.MaxInt
+		g.ForEachAlive(func(h graph.Handle) bool {
+			if dd := g.DegreeLive(h); dd < tr.minDeg {
+				tr.minDeg = dd
+			}
+			return true
+		})
+		return tr
+	})
+
+	k := 0
 	for _, n := range ns {
 		for _, d := range ds {
 			minRatio := math.Inf(1)
@@ -104,22 +163,17 @@ func runRegenExpansion(cfg Config, kind core.Kind, ds []int) *report.Table {
 			minDeg := math.MaxInt
 			minGap := math.Inf(1)
 			for trial := 0; trial < trials; trial++ {
-				salt := uint64(uint8(kind))<<40 | uint64(n)<<10 | uint64(d)<<4 | uint64(trial)
-				m := warm(kind, n, d, cfg.rng(salt))
-				g := m.Graph()
-				p := expansion.Estimate(g, cfg.rng(salt^0xbbbb), expCfg(cfg))
-				if v, w := p.Min(); v < minRatio {
-					minRatio, witness = v, w
+				tr := results[k]
+				k++
+				if tr.ratio < minRatio {
+					minRatio, witness = tr.ratio, tr.witness
 				}
-				if gap := expansion.SpectralGap(g, 60, cfg.rng(salt^0xeeee)); gap < minGap {
-					minGap = gap
+				if tr.gap < minGap {
+					minGap = tr.gap
 				}
-				g.ForEachAlive(func(h graph.Handle) bool {
-					if dd := g.DegreeLive(h); dd < minDeg {
-						minDeg = dd
-					}
-					return true
-				})
+				if tr.minDeg < minDeg {
+					minDeg = tr.minDeg
+				}
 			}
 			t.AddRow(report.D(n), report.D(d),
 				report.F2(minRatio), report.D(witness.Size), report.D(minDeg),

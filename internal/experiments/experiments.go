@@ -34,6 +34,7 @@ import (
 	"github.com/dyngraph/churnnet/internal/core"
 	"github.com/dyngraph/churnnet/internal/report"
 	"github.com/dyngraph/churnnet/internal/rng"
+	"github.com/dyngraph/churnnet/internal/runner"
 )
 
 // Scale selects how much work an experiment does.
@@ -82,6 +83,35 @@ func ParseScale(s string) (Scale, error) {
 type Config struct {
 	Scale Scale
 	Seed  uint64
+	// Parallelism caps how many trials an experiment executes
+	// concurrently: 0 uses GOMAXPROCS, 1 runs serially. Results are
+	// bit-identical at every setting (see internal/runner for the
+	// determinism contract).
+	Parallelism int
+	// Progress, when non-nil, receives (done, total) ticks as the trials
+	// of the current experiment complete. Ticks arrive in completion
+	// order, which is scheduling-dependent; everything else is
+	// deterministic.
+	Progress func(done, total int)
+}
+
+// runnerCfg adapts the experiment knobs to the trial engine.
+func (c Config) runnerCfg() runner.Config {
+	return runner.Config{Workers: c.Parallelism, Progress: runner.Progress(c.Progress)}
+}
+
+// parMap runs fn once per job on the experiment's worker pool and returns
+// the results in job order. Each fn must derive its randomness from its
+// job index alone (cfg.rng with a job-specific salt), which every
+// experiment's salting already guarantees.
+func parMap[T any](cfg Config, jobs int, fn func(job int) T) []T {
+	return runner.MapIndexed(cfg.runnerCfg(), jobs, fn)
+}
+
+// parMapRNG runs fn once per trial, handing each a child generator split
+// serially from base — for experiments whose trials shared one stream.
+func parMapRNG[T any](cfg Config, base *rng.RNG, trials int, fn func(trial int, r *rng.RNG) T) []T {
+	return runner.Map(cfg.runnerCfg(), base, trials, fn)
 }
 
 // pick selects a value by scale.
@@ -168,9 +198,10 @@ func ByID(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// RunAll executes the full suite and returns the report.
-func RunAll(cfg Config) *report.Report {
-	r := &report.Report{
+// NewReport returns the empty suite report (title and intro) for cfg, for
+// callers that run the experiments one at a time.
+func NewReport(cfg Config) *report.Report {
+	return &report.Report{
 		Title: "churnnet — paper-vs-measured results",
 		Intro: fmt.Sprintf(
 			"Reproduction of “Expansion and Flooding in Dynamic Random Networks with Node Churn”"+
@@ -178,6 +209,11 @@ func RunAll(cfg Config) *report.Report {
 				" Scale: %s, root seed: %d. Every number is deterministic given the seed.",
 			cfg.Scale, cfg.Seed),
 	}
+}
+
+// RunAll executes the full suite and returns the report.
+func RunAll(cfg Config) *report.Report {
+	r := NewReport(cfg)
 	for _, e := range All() {
 		r.Add(e.Run(cfg))
 	}

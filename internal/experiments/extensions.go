@@ -52,7 +52,51 @@ func runOverlayRealism(cfg Config) *report.Table {
 	d := 16
 	trials := cfg.pick(2, 5, 8)
 
-	for _, which := range []string{"overlay", "PDGR"} {
+	networks := []string{"overlay", "PDGR"}
+	type job struct {
+		which string
+		trial int
+	}
+	var jobs []job
+	for _, which := range networks {
+		for trial := 0; trial < trials; trial++ {
+			jobs = append(jobs, job{which, trial})
+		}
+	}
+	type trialResult struct {
+		meanOut, isolated float64
+		maxDeg            int
+		ratio             float64
+		completed         bool
+		rounds            float64
+	}
+	results := parMap(cfg, len(jobs), func(i int) trialResult {
+		j := jobs[i]
+		salt := uint64(len(j.which))<<28 | uint64(j.trial)
+		var m core.Model
+		if j.which == "overlay" {
+			o := overlay.New(overlay.Config{N: n, D: d, MaxIn: 8 * d}, cfg.rng(salt))
+			o.WarmUp()
+			m = o
+		} else {
+			m = warm(core.PDGR, n, d, cfg.rng(salt))
+		}
+		g := m.Graph()
+		ds := analysis.Degrees(g)
+		var tr trialResult
+		tr.meanOut = ds.MeanOut
+		tr.maxDeg = ds.Max
+		tr.isolated = analysis.IsolatedFraction(g)
+		p := expansion.Estimate(g, cfg.rng(salt^0xcccc), expCfg(cfg))
+		tr.ratio, _ = p.Min()
+		res := flood.Run(m, flood.Options{Source: freshSource(m)})
+		tr.completed = res.Completed
+		tr.rounds = float64(res.CompletionRound)
+		return tr
+	})
+
+	k := 0
+	for _, which := range networks {
 		var meanOut stats.Accumulator
 		maxDeg := 0
 		var isolated stats.Accumulator
@@ -60,30 +104,19 @@ func runOverlayRealism(cfg Config) *report.Table {
 		completed := 0
 		var rounds []float64
 		for trial := 0; trial < trials; trial++ {
-			salt := uint64(len(which))<<28 | uint64(trial)
-			var m core.Model
-			if which == "overlay" {
-				o := overlay.New(overlay.Config{N: n, D: d, MaxIn: 8 * d}, cfg.rng(salt))
-				o.WarmUp()
-				m = o
-			} else {
-				m = warm(core.PDGR, n, d, cfg.rng(salt))
+			tr := results[k]
+			k++
+			meanOut.Add(tr.meanOut)
+			if tr.maxDeg > maxDeg {
+				maxDeg = tr.maxDeg
 			}
-			g := m.Graph()
-			ds := analysis.Degrees(g)
-			meanOut.Add(ds.MeanOut)
-			if ds.Max > maxDeg {
-				maxDeg = ds.Max
+			isolated.Add(tr.isolated)
+			if tr.ratio < minRatio {
+				minRatio = tr.ratio
 			}
-			isolated.Add(analysis.IsolatedFraction(g))
-			p := expansion.Estimate(g, cfg.rng(salt^0xcccc), expCfg(cfg))
-			if v, _ := p.Min(); v < minRatio {
-				minRatio = v
-			}
-			res := flood.Run(m, flood.Options{Source: freshSource(m)})
-			if res.Completed {
+			if tr.completed {
 				completed++
-				rounds = append(rounds, float64(res.CompletionRound))
+				rounds = append(rounds, tr.rounds)
 			}
 		}
 		med := math.NaN()
@@ -116,6 +149,47 @@ func runBoundedDegree(cfg Config) *report.Table {
 		{InCap: 2 * d}, // hard cap
 		{Choices: 2},   // power of two choices
 	}
+	type job struct {
+		policy core.DegreePolicy
+		n      int
+		trial  int
+	}
+	var jobs []job
+	for _, policy := range policies {
+		for _, n := range ns {
+			for trial := 0; trial < trials; trial++ {
+				jobs = append(jobs, job{policy, n, trial})
+			}
+		}
+	}
+	type trialResult struct {
+		maxIn     int
+		ratio     float64
+		completed bool
+		rounds    float64
+	}
+	results := parMap(cfg, len(jobs), func(i int) trialResult {
+		j := jobs[i]
+		salt := uint64(j.policy.InCap)<<20 | uint64(j.policy.Choices)<<16 | uint64(j.n)<<2 | uint64(j.trial)
+		m := core.NewPoissonVariant(j.n, d, true, j.policy, cfg.rng(salt))
+		m.WarmUp()
+		g := m.Graph()
+		var tr trialResult
+		g.ForEachAlive(func(h graph.Handle) bool {
+			if in := g.InDegreeLive(h); in > tr.maxIn {
+				tr.maxIn = in
+			}
+			return true
+		})
+		p := expansion.Estimate(g, cfg.rng(salt^0xdddd), expCfg(cfg))
+		tr.ratio, _ = p.Min()
+		res := flood.Run(m, flood.Options{})
+		tr.completed = res.Completed
+		tr.rounds = float64(res.CompletionRound)
+		return tr
+	})
+
+	k := 0
 	for _, policy := range policies {
 		for _, n := range ns {
 			maxIn := 0
@@ -123,24 +197,17 @@ func runBoundedDegree(cfg Config) *report.Table {
 			completed := 0
 			var rounds []float64
 			for trial := 0; trial < trials; trial++ {
-				salt := uint64(policy.InCap)<<20 | uint64(policy.Choices)<<16 | uint64(n)<<2 | uint64(trial)
-				m := core.NewPoissonVariant(n, d, true, policy, cfg.rng(salt))
-				m.WarmUp()
-				g := m.Graph()
-				g.ForEachAlive(func(h graph.Handle) bool {
-					if in := g.InDegreeLive(h); in > maxIn {
-						maxIn = in
-					}
-					return true
-				})
-				p := expansion.Estimate(g, cfg.rng(salt^0xdddd), expCfg(cfg))
-				if v, _ := p.Min(); v < minRatio {
-					minRatio = v
+				tr := results[k]
+				k++
+				if tr.maxIn > maxIn {
+					maxIn = tr.maxIn
 				}
-				res := flood.Run(m, flood.Options{})
-				if res.Completed {
+				if tr.ratio < minRatio {
+					minRatio = tr.ratio
+				}
+				if tr.completed {
 					completed++
-					rounds = append(rounds, float64(res.CompletionRound))
+					rounds = append(rounds, tr.rounds)
 				}
 			}
 			med := math.NaN()
@@ -168,20 +235,47 @@ func runGiantComponent(cfg Config) *report.Table {
 	n := cfg.pick(500, 3000, 10000)
 	trials := cfg.pick(2, 5, 8)
 
-	for _, kind := range []core.Kind{core.SDG, core.PDG} {
-		for _, dd := range []int{2, 3, 4, 6} {
+	kinds := []core.Kind{core.SDG, core.PDG}
+	dds := []int{2, 3, 4, 6}
+	type job struct {
+		kind  core.Kind
+		dd    int
+		trial int
+	}
+	var jobs []job
+	for _, kind := range kinds {
+		for _, dd := range dds {
+			for trial := 0; trial < trials; trial++ {
+				jobs = append(jobs, job{kind, dd, trial})
+			}
+		}
+	}
+	type trialResult struct {
+		cs       analysis.ComponentStats
+		informed float64
+	}
+	results := parMap(cfg, len(jobs), func(i int) trialResult {
+		j := jobs[i]
+		salt := uint64(uint8(j.kind))<<48 | uint64(j.dd)<<8 | uint64(j.trial)
+		m := warm(j.kind, n, j.dd, cfg.rng(salt))
+		cs := analysis.Components(m.Graph())
+		res := flood.Run(m, flood.Options{KeepTrajectory: true, RunToMax: true,
+			MaxRounds: flood.DefaultMaxRounds(n)})
+		return trialResult{cs: cs, informed: res.PeakFraction}
+	})
+
+	k := 0
+	for _, kind := range kinds {
+		for _, dd := range dds {
 			var giant, informed stats.Accumulator
 			comps, isolated := 0, 0
 			for trial := 0; trial < trials; trial++ {
-				salt := uint64(uint8(kind))<<48 | uint64(dd)<<8 | uint64(trial)
-				m := warm(kind, n, dd, cfg.rng(salt))
-				cs := analysis.Components(m.Graph())
-				giant.Add(cs.GiantFraction)
-				comps += cs.Count
-				isolated += cs.IsolatedCount
-				res := flood.Run(m, flood.Options{KeepTrajectory: true, RunToMax: true,
-					MaxRounds: flood.DefaultMaxRounds(n)})
-				informed.Add(res.PeakFraction)
+				tr := results[k]
+				k++
+				giant.Add(tr.cs.GiantFraction)
+				comps += tr.cs.Count
+				isolated += tr.cs.IsolatedCount
+				informed.Add(tr.informed)
 			}
 			ref := 1 - math.Exp(-2*float64(dd))/6
 			t.AddRow(kind.String(), report.D(n), report.D(dd),

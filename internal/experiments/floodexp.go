@@ -67,39 +67,58 @@ func runFloodingFailure(cfg Config) *report.Table {
 	n := cfg.pick(300, 1500, 4000)
 	trials := cfg.pick(20, 200, 400)
 
+	// The trials of one cell share a long-lived model (successive
+	// broadcasts on the same network, decorrelated by extra churn), so the
+	// trial loop is inherently sequential; parallelism lives at the
+	// (kind, d) cell level instead.
+	type cell struct {
+		kind core.Kind
+		d    int
+	}
+	var cells []cell
 	for _, kind := range []core.Kind{core.SDG, core.PDG} {
 		for _, d := range []int{1, 2, 3} {
-			stalled, completed := 0, 0
-			var peaks []float64
-			// One long-lived model per (kind, d); successive broadcasts
-			// start from fresh newborn sources after extra churn.
-			m := warm(kind, n, d, cfg.rng(uint64(uint8(kind))<<16|uint64(d)))
-			for trial := 0; trial < trials; trial++ {
-				for i := 0; i < 5; i++ { // decorrelate consecutive sources
-					m.AdvanceRound()
-				}
-				src := freshSource(m)
-				res := flood.Run(m, flood.Options{Source: src, MaxRounds: 8 * d * ilog2(n)})
-				if res.PeakInformed <= d+1 {
-					stalled++
-				}
-				if res.Completed {
-					completed++
-				}
-				peaks = append(peaks, res.PeakFraction)
-			}
-			// Loose constructive lower bound from the proofs: the source
-			// picks d lifetime-isolated targets.
-			bound := 0.5 * math.Pow(math.Exp(-2*float64(d))/18, float64(d))
-			boundCell := report.Sci(bound)
-			if bound < 1/float64(trials) {
-				boundCell += " (below resolution)"
-			}
-			t.AddRow(kind.String(), report.D(n), report.D(d), report.D(trials),
-				report.Pct(float64(stalled)/float64(trials)), boundCell,
-				report.Pct(float64(completed)/float64(trials)),
-				report.Pct(stats.Median(peaks)))
+			cells = append(cells, cell{kind, d})
 		}
+	}
+	type cellResult struct {
+		stalled, completed int
+		peaks              []float64
+	}
+	results := parMap(cfg, len(cells), func(i int) cellResult {
+		c := cells[i]
+		var cr cellResult
+		m := warm(c.kind, n, c.d, cfg.rng(uint64(uint8(c.kind))<<16|uint64(c.d)))
+		for trial := 0; trial < trials; trial++ {
+			for i := 0; i < 5; i++ { // decorrelate consecutive sources
+				m.AdvanceRound()
+			}
+			src := freshSource(m)
+			res := flood.Run(m, flood.Options{Source: src, MaxRounds: 8 * c.d * ilog2(n)})
+			if res.PeakInformed <= c.d+1 {
+				cr.stalled++
+			}
+			if res.Completed {
+				cr.completed++
+			}
+			cr.peaks = append(cr.peaks, res.PeakFraction)
+		}
+		return cr
+	})
+
+	for i, c := range cells {
+		cr := results[i]
+		// Loose constructive lower bound from the proofs: the source
+		// picks d lifetime-isolated targets.
+		bound := 0.5 * math.Pow(math.Exp(-2*float64(c.d))/18, float64(c.d))
+		boundCell := report.Sci(bound)
+		if bound < 1/float64(trials) {
+			boundCell += " (below resolution)"
+		}
+		t.AddRow(c.kind.String(), report.D(n), report.D(c.d), report.D(trials),
+			report.Pct(float64(cr.stalled)/float64(trials)), boundCell,
+			report.Pct(float64(cr.completed)/float64(trials)),
+			report.Pct(stats.Median(cr.peaks)))
 	}
 	t.AddNote("“stalled” = the broadcast never exceeded d+1 informed nodes within the horizon. " +
 		"The paper's Ω(e^{−d²}) lower bound is loose; the measured stall rate dominates it wherever " +
@@ -151,21 +170,44 @@ func runFloodingMost(cfg Config, kind core.Kind, expDiv float64) *report.Table {
 	}
 	var fitPoints []point
 	fitD := 20
+	ds := []int{10, 20}
 
+	type job struct{ n, d, trial int }
+	var jobs []job
 	for _, n := range ns {
-		for _, d := range []int{10, 20} {
+		for _, d := range ds {
+			for trial := 0; trial < trials; trial++ {
+				jobs = append(jobs, job{n, d, trial})
+			}
+		}
+	}
+	type trialResult struct {
+		final float64
+		tau   int
+	}
+	results := parMap(cfg, len(jobs), func(i int) trialResult {
+		j := jobs[i]
+		target := 1 - math.Exp(-float64(j.d)/expDiv)
+		salt := uint64(uint8(kind))<<36 | uint64(j.n)<<8 | uint64(j.d)<<3 | uint64(j.trial)
+		m := warm(kind, j.n, j.d, cfg.rng(salt))
+		res := flood.Run(m, flood.Options{KeepTrajectory: true, RunToMax: true,
+			MaxRounds: flood.DefaultMaxRounds(j.n)})
+		return trialResult{final: res.PeakFraction, tau: roundsToFraction(res, target)}
+	})
+
+	k := 0
+	for _, n := range ns {
+		for _, d := range ds {
 			target := 1 - math.Exp(-float64(d)/expDiv)
 			reached := 0
 			var taus, finals []float64
 			for trial := 0; trial < trials; trial++ {
-				salt := uint64(uint8(kind))<<36 | uint64(n)<<8 | uint64(d)<<3 | uint64(trial)
-				m := warm(kind, n, d, cfg.rng(salt))
-				res := flood.Run(m, flood.Options{KeepTrajectory: true, RunToMax: true,
-					MaxRounds: flood.DefaultMaxRounds(n)})
-				finals = append(finals, res.PeakFraction)
-				if tau := roundsToFraction(res, target); tau >= 0 {
+				tr := results[k]
+				k++
+				finals = append(finals, tr.final)
+				if tr.tau >= 0 {
 					reached++
-					taus = append(taus, float64(tau))
+					taus = append(taus, float64(tr.tau))
 				}
 			}
 			med := "—"
@@ -205,17 +247,36 @@ func runFloodingLog(cfg Config, kind core.Kind, d int) *report.Table {
 		[]int{4000, 8000, 16000, 32000, 64000})
 	trials := cfg.pick(2, 6, 10)
 
+	type job struct{ n, trial int }
+	var jobs []job
+	for _, n := range ns {
+		for trial := 0; trial < trials; trial++ {
+			jobs = append(jobs, job{n, trial})
+		}
+	}
+	type trialResult struct {
+		completed bool
+		rounds    float64
+	}
+	results := parMap(cfg, len(jobs), func(i int) trialResult {
+		j := jobs[i]
+		salt := uint64(uint8(kind))<<36 | uint64(j.n)<<8 | uint64(j.trial)
+		m := warm(kind, j.n, d, cfg.rng(salt))
+		res := flood.Run(m, flood.Options{})
+		return trialResult{res.Completed, float64(res.CompletionRound)}
+	})
+
 	var xs, ys []float64
+	k := 0
 	for _, n := range ns {
 		completed := 0
 		var rounds []float64
 		for trial := 0; trial < trials; trial++ {
-			salt := uint64(uint8(kind))<<36 | uint64(n)<<8 | uint64(trial)
-			m := warm(kind, n, d, cfg.rng(salt))
-			res := flood.Run(m, flood.Options{})
-			if res.Completed {
+			tr := results[k]
+			k++
+			if tr.completed {
 				completed++
-				rounds = append(rounds, float64(res.CompletionRound))
+				rounds = append(rounds, tr.rounds)
 			}
 		}
 		med := math.NaN()
@@ -248,21 +309,49 @@ func runRegenAblation(cfg Config) *report.Table {
 
 	n := cfg.pick(300, 2000, 8000)
 	trials := cfg.pick(2, 6, 10)
+	ds := []int{1, 2, 4, 8, 16, 24, 32}
+	kinds := []core.Kind{core.SDG, core.SDGR, core.PDG, core.PDGR}
 
-	for _, d := range []int{1, 2, 4, 8, 16, 24, 32} {
+	type job struct {
+		d     int
+		kind  core.Kind
+		trial int
+	}
+	var jobs []job
+	for _, d := range ds {
+		for _, kind := range kinds {
+			for trial := 0; trial < trials; trial++ {
+				jobs = append(jobs, job{d, kind, trial})
+			}
+		}
+	}
+	type trialResult struct {
+		completed     bool
+		rounds, final float64
+	}
+	results := parMap(cfg, len(jobs), func(i int) trialResult {
+		j := jobs[i]
+		salt := uint64(uint8(j.kind))<<44 | uint64(j.d)<<6 | uint64(j.trial)
+		m := warm(j.kind, n, j.d, cfg.rng(salt))
+		res := flood.Run(m, flood.Options{})
+		return trialResult{res.Completed, float64(res.CompletionRound),
+			math.Max(res.FinalFraction(), res.PeakFraction)}
+	})
+
+	k := 0
+	for _, d := range ds {
 		row := []string{report.D(d)}
-		for _, kind := range []core.Kind{core.SDG, core.SDGR, core.PDG, core.PDGR} {
+		for _, kind := range kinds {
 			completed := 0
 			var finals, rounds []float64
 			for trial := 0; trial < trials; trial++ {
-				salt := uint64(uint8(kind))<<44 | uint64(d)<<6 | uint64(trial)
-				m := warm(kind, n, d, cfg.rng(salt))
-				res := flood.Run(m, flood.Options{})
-				if res.Completed {
+				tr := results[k]
+				k++
+				if tr.completed {
 					completed++
-					rounds = append(rounds, float64(res.CompletionRound))
+					rounds = append(rounds, tr.rounds)
 				}
-				finals = append(finals, math.Max(res.FinalFraction(), res.PeakFraction))
+				finals = append(finals, tr.final)
 			}
 			row = append(row, report.Pct(float64(completed)/float64(trials)))
 			if kind.Regen() {

@@ -31,40 +31,75 @@ func runTable1(cfg Config) *report.Table {
 	n := cfg.pick(300, 2000, 8000)
 	trials := cfg.pick(2, 8, 16)
 
+	type job struct {
+		kind core.Kind
+		d    int
+	}
+	type trialResult struct {
+		isolated       float64
+		hSmall, hLarge float64
+		completed      bool
+		rounds         float64
+		finalFrac      float64
+	}
+	var jobs []job
 	for _, kind := range core.Kinds() {
 		for _, d := range []int{3, 30} {
+			for trial := 0; trial < trials; trial++ {
+				jobs = append(jobs, job{kind, d})
+			}
+		}
+	}
+	results := parMap(cfg, len(jobs), func(i int) trialResult {
+		j, trial := jobs[i], i%trials
+		salt := uint64(uint8(j.kind))<<24 | uint64(j.d)<<12 | uint64(trial)
+		m := warm(j.kind, n, j.d, cfg.rng(salt))
+		g := m.Graph()
+		var tr trialResult
+		tr.isolated = analysis.IsolatedFraction(g)
+		p := expansion.Estimate(g, cfg.rng(salt^0xffff), expansion.Config{
+			SampleTrialsPerSize: cfg.pick(6, 16, 24),
+			BFSSeeds:            cfg.pick(4, 8, 12),
+			GreedySeeds:         cfg.pick(1, 2, 3),
+		})
+		tr.hSmall, _ = p.MinInRange(1, g.NumAlive()/10)
+		tr.hLarge, _ = p.MinInRange(g.NumAlive()/10+1, g.NumAlive()/2)
+		res := flood.Run(m, flood.Options{})
+		tr.completed = res.Completed
+		tr.rounds = float64(res.CompletionRound)
+		tr.finalFrac = math.Max(res.FinalFraction(), res.PeakFraction)
+		return tr
+	})
+
+	k := 0
+	for range core.Kinds() {
+		for range []int{3, 30} {
+			j := jobs[k]
 			var isolated stats.Accumulator
 			hSmall, hLarge := math.Inf(1), math.Inf(1)
 			completed := 0
 			var rounds, finalFrac []float64
 			for trial := 0; trial < trials; trial++ {
-				salt := uint64(uint8(kind))<<24 | uint64(d)<<12 | uint64(trial)
-				m := warm(kind, n, d, cfg.rng(salt))
-				g := m.Graph()
-				isolated.Add(analysis.IsolatedFraction(g))
-				p := expansion.Estimate(g, cfg.rng(salt^0xffff), expansion.Config{
-					SampleTrialsPerSize: cfg.pick(6, 16, 24),
-					BFSSeeds:            cfg.pick(4, 8, 12),
-					GreedySeeds:         cfg.pick(1, 2, 3),
-				})
-				if v, _ := p.MinInRange(1, g.NumAlive()/10); v < hSmall {
-					hSmall = v
+				tr := results[k]
+				k++
+				isolated.Add(tr.isolated)
+				if tr.hSmall < hSmall {
+					hSmall = tr.hSmall
 				}
-				if v, _ := p.MinInRange(g.NumAlive()/10+1, g.NumAlive()/2); v < hLarge {
-					hLarge = v
+				if tr.hLarge < hLarge {
+					hLarge = tr.hLarge
 				}
-				res := flood.Run(m, flood.Options{})
-				if res.Completed {
+				if tr.completed {
 					completed++
-					rounds = append(rounds, float64(res.CompletionRound))
+					rounds = append(rounds, tr.rounds)
 				}
-				finalFrac = append(finalFrac, math.Max(res.FinalFraction(), res.PeakFraction))
+				finalFrac = append(finalFrac, tr.finalFrac)
 			}
 			medianRounds := "—"
 			if len(rounds) > 0 {
 				medianRounds = report.F2(stats.Median(rounds))
 			}
-			t.AddRow(kind.String(), report.D(d), report.D(n),
+			t.AddRow(j.kind.String(), report.D(j.d), report.D(n),
 				report.Pct(isolated.Mean()),
 				report.F2(hSmall), report.F2(hLarge),
 				report.Pct(float64(completed)/float64(trials)),

@@ -34,16 +34,35 @@ func runIsolated(cfg Config, kind core.Kind, boundCoeff float64) *report.Table {
 
 	ns := cfg.pickInts([]int{400}, []int{1000, 4000}, []int{4000, 16000})
 	trials := cfg.pick(2, 5, 8)
+	ds := []int{1, 2, 3, 4}
 
+	type job struct{ n, d, trial int }
+	var jobs []job
 	for _, n := range ns {
-		for _, d := range []int{1, 2, 3, 4} {
+		for _, d := range ds {
+			for trial := 0; trial < trials; trial++ {
+				jobs = append(jobs, job{n, d, trial})
+			}
+		}
+	}
+	type trialResult struct{ snap, life float64 }
+	results := parMap(cfg, len(jobs), func(i int) trialResult {
+		j := jobs[i]
+		salt := uint64(uint8(kind))<<32 | uint64(j.n)<<8 | uint64(j.d)<<4 | uint64(j.trial)
+		m := warm(kind, j.n, j.d, cfg.rng(salt))
+		snap := analysis.IsolatedFraction(m.Graph())
+		res := analysis.LifetimeIsolation(m, 20*j.n)
+		return trialResult{snap, float64(res.StayedIsolated) / float64(j.n)}
+	})
+
+	k := 0
+	for _, n := range ns {
+		for _, d := range ds {
 			var snap, life stats.Accumulator
 			for trial := 0; trial < trials; trial++ {
-				salt := uint64(uint8(kind))<<32 | uint64(n)<<8 | uint64(d)<<4 | uint64(trial)
-				m := warm(kind, n, d, cfg.rng(salt))
-				snap.Add(analysis.IsolatedFraction(m.Graph()))
-				res := analysis.LifetimeIsolation(m, 20*n)
-				life.Add(float64(res.StayedIsolated) / float64(n))
+				snap.Add(results[k].snap)
+				life.Add(results[k].life)
+				k++
 			}
 			bound := boundCoeff * math.Exp(-2*float64(d))
 			ratio := life.Mean() / bound

@@ -5,6 +5,7 @@ import (
 
 	"github.com/dyngraph/churnnet/internal/onion"
 	"github.com/dyngraph/churnnet/internal/report"
+	"github.com/dyngraph/churnnet/internal/rng"
 	"github.com/dyngraph/churnnet/internal/stats"
 )
 
@@ -41,16 +42,19 @@ func runOnion(cfg Config) *report.Table {
 		{"extended", 2304, true, 1 - 2*math.Exp(-2304.0/576)},
 	}
 	for _, j := range jobs {
-		r := cfg.rng(uint64(j.d) << 4)
+		// Trials of one variant historically shared a single stream; the
+		// parallel engine splits one child per trial from that stream
+		// instead, which keeps the output independent of worker count.
+		cascades := parMapRNG(cfg, cfg.rng(uint64(j.d)<<4), trials,
+			func(trial int, r *rng.RNG) onion.Result {
+				if j.extended {
+					return onion.Extended(n, j.d, 0, r)
+				}
+				return onion.Streaming(n, j.d, r)
+			})
 		success := 0
 		var phases, growth []float64
-		for trial := 0; trial < trials; trial++ {
-			var res onion.Result
-			if j.extended {
-				res = onion.Extended(n, j.d, 0, r)
-			} else {
-				res = onion.Streaming(n, j.d, r)
-			}
+		for _, res := range cascades {
 			if res.Reached {
 				success++
 				phases = append(phases, float64(res.Phases))

@@ -40,23 +40,52 @@ func runOverlayAblation(cfg Config) *report.Table {
 		{"rare gossip", 256, 100},
 		{"starved", 2 * d, 200},
 	}
+	type job struct {
+		book   int
+		gossip float64
+		trial  int
+	}
+	var jobs []job
+	for _, v := range variants {
+		for trial := 0; trial < trials; trial++ {
+			jobs = append(jobs, job{v.book, v.gossip, trial})
+		}
+	}
+	type trialResult struct {
+		meanOut, isolated float64
+		completed         bool
+		rounds            float64
+	}
+	results := parMap(cfg, len(jobs), func(i int) trialResult {
+		j := jobs[i]
+		o := overlay.New(overlay.Config{
+			N: n, D: d, MaxIn: 8 * d,
+			AddrBookCap:    j.book,
+			GossipInterval: j.gossip,
+		}, cfg.rng(uint64(j.book)<<24|uint64(int(j.gossip))<<8|uint64(j.trial)))
+		o.WarmUp()
+		var tr trialResult
+		tr.meanOut = analysis.Degrees(o.Graph()).MeanOut
+		tr.isolated = analysis.IsolatedFraction(o.Graph())
+		res := flood.Run(o, flood.Options{Source: freshSource(o)})
+		tr.completed = res.Completed
+		tr.rounds = float64(res.CompletionRound)
+		return tr
+	})
+
+	k := 0
 	for _, v := range variants {
 		var meanOut, isolated stats.Accumulator
 		completed := 0
 		var rounds []float64
 		for trial := 0; trial < trials; trial++ {
-			o := overlay.New(overlay.Config{
-				N: n, D: d, MaxIn: 8 * d,
-				AddrBookCap:    v.book,
-				GossipInterval: v.gossip,
-			}, cfg.rng(uint64(v.book)<<24|uint64(int(v.gossip))<<8|uint64(trial)))
-			o.WarmUp()
-			meanOut.Add(analysis.Degrees(o.Graph()).MeanOut)
-			isolated.Add(analysis.IsolatedFraction(o.Graph()))
-			res := flood.Run(o, flood.Options{Source: freshSource(o)})
-			if res.Completed {
+			tr := results[k]
+			k++
+			meanOut.Add(tr.meanOut)
+			isolated.Add(tr.isolated)
+			if tr.completed {
 				completed++
-				rounds = append(rounds, float64(res.CompletionRound))
+				rounds = append(rounds, tr.rounds)
 			}
 		}
 		med := "—"

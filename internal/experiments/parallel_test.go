@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestParallelismInvariance pins the runner's determinism contract at the
+// experiment level: for a fixed seed, the rendered table is bit-identical
+// at parallelism 1 (the serial loop), 4, and GOMAXPROCS. T1 and F10
+// exercise the flattened cell×trial pattern, F5 the sequential-cell
+// pattern (long-lived shared model), and F17 the RNG-splitting path.
+func TestParallelismInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallelism invariance skipped in -short mode")
+	}
+	for _, id := range []string{"T1", "F5", "F10", "F17"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("unknown experiment %s", id)
+			}
+			want := e.Run(Config{Scale: Smoke, Seed: 7, Parallelism: 1}).Markdown()
+			for _, par := range []int{4, runtime.GOMAXPROCS(0)} {
+				got := e.Run(Config{Scale: Smoke, Seed: 7, Parallelism: par}).Markdown()
+				if got != want {
+					t.Fatalf("parallelism %d produced a different table than parallelism 1:\n--- par=1\n%s\n--- par=%d\n%s",
+						par, want, par, got)
+				}
+			}
+		})
+	}
+}
+
+// TestProgressReachesTotal checks that the Progress callback sees every
+// trial of an experiment complete.
+func TestProgressReachesTotal(t *testing.T) {
+	var lastDone, lastTotal int
+	e, _ := ByID("F16")
+	e.Run(Config{Scale: Smoke, Seed: 7, Parallelism: 2, Progress: func(done, total int) {
+		lastDone, lastTotal = done, total
+	}})
+	if lastTotal == 0 || lastDone != lastTotal {
+		t.Fatalf("progress ended at %d/%d", lastDone, lastTotal)
+	}
+}

@@ -46,14 +46,35 @@ func runDegrees(cfg Config) *report.Table {
 	const d = 10
 	trials := cfg.pick(1, 4, 6)
 
+	kinds := []core.Kind{core.SDG, core.SDGR}
+	type job struct {
+		kind  core.Kind
+		n     int
+		trial int
+	}
+	var jobs []job
+	for _, kind := range kinds {
+		for _, n := range ns {
+			for trial := 0; trial < trials; trial++ {
+				jobs = append(jobs, job{kind, n, trial})
+			}
+		}
+	}
+	results := parMap(cfg, len(jobs), func(i int) analysis.DegreeStats {
+		j := jobs[i]
+		m := warm(j.kind, j.n, d, cfg.rng(uint64(uint8(j.kind))<<20|uint64(j.n)<<3|uint64(j.trial)))
+		return analysis.Degrees(m.Graph())
+	})
+
 	var xs, ys []float64
-	for _, kind := range []core.Kind{core.SDG, core.SDGR} {
+	k := 0
+	for _, kind := range kinds {
 		for _, n := range ns {
 			var mean, meanOut, meanIn, maxDeg stats.Accumulator
 			isolated := 0
 			for trial := 0; trial < trials; trial++ {
-				m := warm(kind, n, d, cfg.rng(uint64(uint8(kind))<<20|uint64(n)<<3|uint64(trial)))
-				ds := analysis.Degrees(m.Graph())
+				ds := results[k]
+				k++
 				mean.Add(ds.Mean)
 				meanOut.Add(ds.MeanOut)
 				meanIn.Add(ds.MeanIn)
@@ -98,15 +119,22 @@ func runAgeBias(cfg Config) *report.Table {
 
 	n := cfg.pick(500, 4000, 16000)
 	const d = 10
-	for _, kind := range core.Kinds() {
+	kinds := core.Kinds()
+	type kindResult struct{ in, out []float64 }
+	results := parMap(cfg, len(kinds), func(i int) kindResult {
+		kind := kinds[i]
 		m := warm(kind, n, d, cfg.rng(uint64(uint8(kind))<<22|uint64(n)))
-		in := analysis.InDegreeByAgeQuantile(m.Graph(), buckets)
-		out := analysis.OutDegreeByAgeQuantile(m.Graph(), buckets)
+		return kindResult{
+			in:  analysis.InDegreeByAgeQuantile(m.Graph(), buckets),
+			out: analysis.OutDegreeByAgeQuantile(m.Graph(), buckets),
+		}
+	})
+	for i, kind := range kinds {
 		row := []string{kind.String(), report.D(n), report.D(d)}
-		for _, v := range in {
+		for _, v := range results[i].in {
 			row = append(row, report.F2(v))
 		}
-		row = append(row, report.F2(out[0]), report.F2(out[buckets-1]))
+		row = append(row, report.F2(results[i].out[0]), report.F2(results[i].out[buckets-1]))
 		t.AddRow(row...)
 	}
 	t.AddNote("mean live in-degree per age decile, oldest first. In-edges accumulate with age " +

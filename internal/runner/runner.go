@@ -1,0 +1,177 @@
+// Package runner executes the independent trials of an experiment on a
+// worker pool while keeping results bit-identical to a serial loop.
+//
+// Determinism contract. Results do not depend on the number of workers or
+// on goroutine scheduling, because
+//
+//  1. every trial's randomness is a pure function of its trial index —
+//     either the trial function derives its own generator from the index
+//     (MapIndexed), or Map pre-splits one child generator per trial from a
+//     base stream *serially, before any worker starts*; and
+//  2. results land in an output slice at the trial's own index, and any
+//     cross-trial reduction happens in index order after all trials finish.
+//
+// Under that contract runner.Map(cfg, base, n, fn) returns exactly what the
+// serial loop
+//
+//	for i := 0; i < n; i++ { out[i] = fn(i, base.Split()) }
+//
+// returns, at any parallelism. Only the Progress callback observes
+// scheduling (trials complete in nondeterministic order).
+//
+// A panic inside a trial does not tear down the process from a worker
+// goroutine: it is captured with its trial index and stack, the remaining
+// trials finish, and Map re-panics a *TrialPanic in the caller's goroutine
+// (the lowest-indexed panic wins, deterministically).
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/dyngraph/churnnet/internal/rng"
+)
+
+// Progress observes trial completion: it is called once per finished trial
+// with the number done so far and the total. Calls are serialized but
+// arrive in completion order, which is scheduling-dependent; done is
+// strictly increasing across calls. Callbacks must not panic.
+type Progress func(done, total int)
+
+// Config controls how a Map executes.
+type Config struct {
+	// Workers caps the number of concurrent trials. 0 (or negative) uses
+	// GOMAXPROCS; 1 runs serially on the calling goroutine.
+	Workers int
+	// Progress, when non-nil, receives a tick after every completed trial.
+	Progress Progress
+}
+
+// workers resolves the effective worker count for n trials.
+func (c Config) workers(n int) int {
+	w := c.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// TrialPanic is the error value Map panics with when one or more trial
+// functions panicked. It wraps the original panic value of the
+// lowest-indexed failing trial together with its stack trace.
+type TrialPanic struct {
+	// Trial is the index of the failing trial.
+	Trial int
+	// Value is the original panic value.
+	Value any
+	// Stack is the worker goroutine's stack at recovery time.
+	Stack []byte
+}
+
+// Error formats the captured panic.
+func (p *TrialPanic) Error() string {
+	return fmt.Sprintf("runner: trial %d panicked: %v\n%s", p.Trial, p.Value, p.Stack)
+}
+
+// Unwrap exposes the original panic value when it was an error.
+func (p *TrialPanic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Map runs fn for trials 0..trials−1, handing trial i the i-th child
+// generator split from base, and returns the results in trial order. The
+// children are split serially before any trial runs, so the output is
+// independent of cfg.Workers and of scheduling; base is advanced exactly
+// `trials` times. See the package comment for the full contract.
+func Map[T any](cfg Config, base *rng.RNG, trials int, fn func(trial int, r *rng.RNG) T) []T {
+	streams := make([]*rng.RNG, trials)
+	for i := range streams {
+		streams[i] = base.Split()
+	}
+	return MapIndexed(cfg, trials, func(i int) T { return fn(i, streams[i]) })
+}
+
+// MapIndexed runs fn for indices 0..n−1 on the worker pool and returns the
+// results in index order. fn must derive any randomness it needs from its
+// index alone (e.g. via a seed salted with i) for the determinism contract
+// to hold.
+func MapIndexed[T any](cfg Config, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	if n == 0 {
+		return out
+	}
+	workers := cfg.workers(n)
+
+	var (
+		next    atomic.Int64 // next unclaimed trial index
+		mu      sync.Mutex   // guards done and panics; serializes Progress
+		done    int
+		panics  []*TrialPanic
+		runOne  func(i int)
+		tick    func()
+		capture func(i int)
+	)
+	capture = func(i int) {
+		if v := recover(); v != nil {
+			tp := &TrialPanic{Trial: i, Value: v, Stack: debug.Stack()}
+			mu.Lock()
+			panics = append(panics, tp)
+			mu.Unlock()
+		}
+	}
+	runOne = func(i int) {
+		defer capture(i)
+		out[i] = fn(i)
+	}
+	tick = func() {
+		mu.Lock()
+		done++
+		if cfg.Progress != nil {
+			cfg.Progress(done, n)
+		}
+		mu.Unlock()
+	}
+
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			runOne(i)
+			tick()
+		}
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					runOne(i)
+					tick()
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	if len(panics) > 0 {
+		sort.Slice(panics, func(a, b int) bool { return panics[a].Trial < panics[b].Trial })
+		panic(panics[0])
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package runner
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"github.com/dyngraph/churnnet/internal/rng"
+)
+
+func TestMapIndexedOrdered(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 16} {
+		got := MapIndexed(Config{Workers: workers}, 100, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapIndexedEmpty(t *testing.T) {
+	if got := MapIndexed(Config{}, 0, func(i int) int { t.Fatal("fn called"); return 0 }); len(got) != 0 {
+		t.Fatalf("len = %d", len(got))
+	}
+}
+
+// TestMapMatchesSerialSplitLoop pins the determinism contract: Map equals
+// the serial split loop bit for bit, at every worker count.
+func TestMapMatchesSerialSplitLoop(t *testing.T) {
+	const trials = 37
+	serial := make([]uint64, trials)
+	base := rng.New(42)
+	for i := range serial {
+		r := base.Split()
+		serial[i] = r.Uint64() ^ r.Uint64()
+	}
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0), 32} {
+		got := Map(Config{Workers: workers}, rng.New(42), trials, func(trial int, r *rng.RNG) uint64 {
+			return r.Uint64() ^ r.Uint64()
+		})
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d: trial %d = %#x, want %#x", workers, i, got[i], serial[i])
+			}
+		}
+	}
+}
+
+// TestMapAdvancesBase checks Map consumes exactly `trials` splits, so
+// successive Map calls on one base stream stay reproducible.
+func TestMapAdvancesBase(t *testing.T) {
+	a, b := rng.New(7), rng.New(7)
+	Map(Config{Workers: 4}, a, 5, func(int, *rng.RNG) struct{} { return struct{}{} })
+	for i := 0; i < 5; i++ {
+		b.Split()
+	}
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Map advanced base differently from 5 serial splits")
+	}
+}
+
+func TestMapIndexedConcurrency(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		// Still verify the cap is respected with explicit workers.
+	}
+	var live, peak atomic.Int64
+	MapIndexed(Config{Workers: 3}, 64, func(i int) int {
+		n := live.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		runtime.Gosched()
+		live.Add(-1)
+		return i
+	})
+	if peak.Load() > 3 {
+		t.Fatalf("observed %d concurrent trials with Workers=3", peak.Load())
+	}
+}
+
+func TestProgressTicks(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var calls int
+		last := 0
+		MapIndexed(Config{Workers: workers, Progress: func(done, total int) {
+			calls++
+			if total != 10 {
+				t.Fatalf("total = %d", total)
+			}
+			if done != last+1 {
+				t.Fatalf("done went %d -> %d", last, done)
+			}
+			last = done
+		}}, 10, func(i int) int { return i })
+		if calls != 10 {
+			t.Fatalf("workers=%d: %d progress calls", workers, calls)
+		}
+	}
+}
+
+func TestPanicCapture(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				v := recover()
+				tp, ok := v.(*TrialPanic)
+				if !ok {
+					t.Fatalf("workers=%d: recovered %T, want *TrialPanic", workers, v)
+				}
+				// Lowest-indexed panic wins deterministically.
+				if tp.Trial != 3 {
+					t.Fatalf("workers=%d: panic from trial %d, want 3", workers, tp.Trial)
+				}
+				if !strings.Contains(tp.Error(), "boom 3") {
+					t.Fatalf("error lacks panic value: %s", tp.Error())
+				}
+				if len(tp.Stack) == 0 {
+					t.Fatal("no stack captured")
+				}
+			}()
+			MapIndexed(Config{Workers: workers}, 16, func(i int) int {
+				if i == 3 || i == 11 {
+					panic(errors.New("boom " + string(rune('0'+i%10))))
+				}
+				return i
+			})
+		}()
+	}
+}
+
+func TestPanicUnwrap(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	defer func() {
+		tp := recover().(*TrialPanic)
+		if !errors.Is(tp, sentinel) {
+			t.Fatal("Unwrap lost the original error")
+		}
+	}()
+	MapIndexed(Config{Workers: 1}, 1, func(i int) int { panic(sentinel) })
+}
+
+// TestPanicDoesNotAbortOthers: remaining trials still produce results.
+func TestPanicDoesNotAbortOthers(t *testing.T) {
+	var completed atomic.Int64
+	func() {
+		defer func() { recover() }()
+		MapIndexed(Config{Workers: 4}, 32, func(i int) int {
+			if i == 0 {
+				panic("early")
+			}
+			completed.Add(1)
+			return i
+		})
+	}()
+	if got := completed.Load(); got != 31 {
+		t.Fatalf("completed %d trials, want 31", got)
+	}
+}
+
+func TestConfigWorkers(t *testing.T) {
+	if got := (Config{Workers: 0}).workers(1000); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default workers = %d", got)
+	}
+	if got := (Config{Workers: 8}).workers(3); got != 3 {
+		t.Fatalf("workers not capped by n: %d", got)
+	}
+	if got := (Config{Workers: -5}).workers(0); got != 1 {
+		t.Fatalf("floor violated: %d", got)
+	}
+}
