@@ -73,7 +73,7 @@ type Graph = graph.Graph
 // Handle identifies a node; invalidated when the node dies.
 type Handle = graph.Handle
 
-// Hooks receive birth/death callbacks from a model.
+// Hooks receive birth, death and edge-creation callbacks from a model.
 type Hooks = core.Hooks
 
 // RNG is the deterministic generator used across the library.
@@ -129,6 +129,14 @@ const (
 )
 
 // Flood broadcasts from opts.Source (default: the newest node) over m.
+//
+// All built-in models emit edge-level events, so Flood runs the
+// incremental cut-set engine: it maintains the informed→uninformed
+// candidate edges under churn instead of rescanning every informed
+// neighborhood each round, with results bit-for-bit identical to the
+// definition-level reference implementation (see DESIGN.md, "The cut-set
+// flooding engine"). Third-party Model implementations that do not claim
+// the edge-event contract fall back to the reference scan transparently.
 func Flood(m Model, opts FloodOptions) FloodResult { return flood.Run(m, opts) }
 
 // --- expansion ---

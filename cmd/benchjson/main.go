@@ -1,0 +1,229 @@
+// Command benchjson times the incremental cut-set flooding engine
+// (flood.Run) against the full-rescan reference (flood.RunReference) on
+// identically seeded warmed models and writes the measurements as JSON —
+// the machine-readable perf record that CI uploads as the BENCH_flood.json
+// artifact and that EXPERIMENTS.md quotes for the large-n runs.
+//
+// Every case builds two models from the same seed (their churn streams are
+// identical; flooding consumes no randomness), floods one with each
+// implementation, verifies the Results are bit-for-bit equal, and reports
+// wall times and the speedup. Reference timing can be skipped above a size
+// cutoff so the n=10⁶ record stays obtainable in one sitting.
+//
+// Usage:
+//
+//	benchjson -out BENCH_flood.json                  # smoke scale (CI)
+//	benchjson -scale large -out BENCH_flood.json     # committed large-n record
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"github.com/dyngraph/churnnet/internal/core"
+	"github.com/dyngraph/churnnet/internal/flood"
+	"github.com/dyngraph/churnnet/internal/rng"
+)
+
+type benchCase struct {
+	kind core.Kind
+	n, d int
+	mode flood.Mode
+	// window, when > 0, floods with RunToMax over that many rounds — the
+	// measurement-window workload of experiments F6/F7/F19/F23, where the
+	// broadcast keeps running under churn after completion. window == 0
+	// runs to completion (or the default horizon), the F10/F11 workload.
+	window int
+}
+
+func (c benchCase) workload() string {
+	if c.window > 0 {
+		return fmt.Sprintf("window-%d", c.window)
+	}
+	return "to-completion"
+}
+
+type caseResult struct {
+	Model    string `json:"model"`
+	N        int    `json:"n"`
+	D        int    `json:"d"`
+	Mode     string `json:"mode"`
+	Workload string `json:"workload"`
+	Seed     uint64 `json:"seed"`
+	Reps     int    `json:"reps"`
+
+	WarmupNs int64 `json:"warmup_ns"`
+
+	EngineNs    int64  `json:"engine_ns"`
+	ReferenceNs *int64 `json:"reference_ns,omitempty"`
+	// Speedup is reference/engine wall time; omitted when the reference
+	// was skipped.
+	Speedup *float64 `json:"speedup,omitempty"`
+	// ResultsEqual confirms the bit-for-bit equivalence contract held on
+	// this run; omitted when the reference was skipped.
+	ResultsEqual *bool `json:"results_equal,omitempty"`
+
+	Completed       bool `json:"completed"`
+	CompletionRound int  `json:"completion_round"`
+	FinalInformed   int  `json:"final_informed"`
+	FinalAlive      int  `json:"final_alive"`
+}
+
+type output struct {
+	Benchmark string       `json:"benchmark"`
+	Scale     string       `json:"scale"`
+	GoVersion string       `json:"go_version"`
+	GOOS      string       `json:"goos"`
+	GOARCH    string       `json:"goarch"`
+	Generated string       `json:"generated"`
+	Cases     []caseResult `json:"cases"`
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_flood.json", "output path (- for stdout)")
+		scale   = flag.String("scale", "smoke", "smoke (CI, seconds) or large (the 100k/1M record)")
+		seed    = flag.Uint64("seed", 1, "deterministic seed")
+		reps    = flag.Int("reps", 3, "timed repetitions per implementation (min is reported)")
+		maxRefN = flag.Int("max-ref-n", 200000, "time the reference only for n <= this (0 = always)")
+	)
+	flag.Parse()
+	if *reps < 1 {
+		fmt.Fprintln(os.Stderr, "benchjson: -reps must be >= 1")
+		os.Exit(2)
+	}
+
+	var cases []benchCase
+	switch *scale {
+	case "smoke":
+		cases = []benchCase{
+			{kind: core.SDGR, n: 2000, d: 21, mode: flood.Discretized},
+			{kind: core.SDGR, n: 2000, d: 21, mode: flood.Asynchronous},
+			{kind: core.SDGR, n: 2000, d: 21, mode: flood.Discretized, window: 100},
+			{kind: core.PDGR, n: 2000, d: 35, mode: flood.Discretized},
+			{kind: core.PDGR, n: 2000, d: 35, mode: flood.Discretized, window: 100},
+			{kind: core.SDG, n: 2000, d: 4, mode: flood.Discretized},
+			{kind: core.PDG, n: 2000, d: 4, mode: flood.Discretized},
+		}
+	case "large":
+		cases = []benchCase{
+			{kind: core.SDGR, n: 100000, d: 21, mode: flood.Discretized},
+			{kind: core.SDGR, n: 100000, d: 21, mode: flood.Discretized, window: 100},
+			{kind: core.PDGR, n: 100000, d: 35, mode: flood.Discretized, window: 100},
+			{kind: core.SDGR, n: 1000000, d: 21, mode: flood.Discretized},
+			{kind: core.SDGR, n: 1000000, d: 21, mode: flood.Discretized, window: 100},
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "benchjson: unknown -scale %q (want smoke or large)\n", *scale)
+		os.Exit(2)
+	}
+
+	o := output{
+		Benchmark: "flood: cut-set engine vs full-rescan reference",
+		Scale:     *scale,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, c := range cases {
+		o.Cases = append(o.Cases, runCase(c, *seed, *reps, *maxRefN))
+	}
+
+	data, err := json.MarshalIndent(o, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d cases to %s\n", len(o.Cases), *out)
+}
+
+// runCase measures one configuration. Each timed repetition floods a
+// freshly warmed model (flooding advances the network, so runs cannot
+// share one), and the minimum over repetitions is reported — the standard
+// way to suppress scheduler noise.
+func runCase(c benchCase, seed uint64, reps, maxRefN int) caseResult {
+	fmt.Fprintf(os.Stderr, "benchjson: %s n=%d d=%d %s %s...\n", c.kind, c.n, c.d, c.mode, c.workload())
+	cr := caseResult{
+		Model: c.kind.String(), N: c.n, D: c.d,
+		Mode: c.mode.String(), Workload: c.workload(), Seed: seed, Reps: reps,
+	}
+	opts := flood.Options{Mode: c.mode}
+	if c.window > 0 {
+		opts.MaxRounds = c.window
+		opts.RunToMax = true
+	}
+	timeRef := maxRefN == 0 || c.n <= maxRefN
+
+	var engRes, refRes flood.Result
+	for rep := 0; rep < reps; rep++ {
+		repSeed := seed + uint64(rep)
+
+		t0 := time.Now()
+		mEng := warm(c.kind, c.n, c.d, repSeed)
+		warmup := time.Since(t0)
+		if rep == 0 || int64(warmup) < cr.WarmupNs {
+			cr.WarmupNs = int64(warmup)
+		}
+
+		t0 = time.Now()
+		res := flood.Run(mEng, opts)
+		engNs := int64(time.Since(t0))
+		if rep == 0 || engNs < cr.EngineNs {
+			cr.EngineNs = engNs
+		}
+		if rep == 0 {
+			engRes = res
+		}
+
+		if timeRef {
+			mRef := warm(c.kind, c.n, c.d, repSeed)
+			t0 = time.Now()
+			res := flood.RunReference(mRef, opts)
+			refNs := int64(time.Since(t0))
+			if cr.ReferenceNs == nil || refNs < *cr.ReferenceNs {
+				cr.ReferenceNs = &refNs
+			}
+			if rep == 0 {
+				refRes = res
+			}
+		}
+	}
+
+	cr.Completed = engRes.Completed
+	cr.CompletionRound = engRes.CompletionRound
+	cr.FinalInformed = engRes.FinalInformed
+	cr.FinalAlive = engRes.FinalAlive
+	if cr.ReferenceNs != nil {
+		eq := reflect.DeepEqual(engRes, refRes)
+		cr.ResultsEqual = &eq
+		if !eq {
+			fmt.Fprintf(os.Stderr, "benchjson: ERROR: engine/reference results diverged for %s n=%d d=%d\n",
+				c.kind, c.n, c.d)
+			os.Exit(1)
+		}
+		sp := float64(*cr.ReferenceNs) / float64(cr.EngineNs)
+		cr.Speedup = &sp
+	}
+	return cr
+}
+
+func warm(kind core.Kind, n, d int, seed uint64) core.Model {
+	m := core.New(kind, n, d, rng.New(seed))
+	core.WarmUp(m)
+	return m
+}

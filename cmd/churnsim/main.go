@@ -42,6 +42,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "churnsim:", err)
 		os.Exit(2)
 	}
+	switch {
+	case *trials < 1:
+		usageError("-trials must be >= 1")
+	case *n < 1:
+		usageError("-n must be >= 1")
+	case *d < 0:
+		usageError("-d must be >= 0")
+	case *rounds < 0:
+		usageError("-rounds must be >= 0")
+	case *par < 0:
+		usageError("-par must be >= 0 (0 = all cores)")
+	}
 
 	if *trials > 1 {
 		if *expand || *traceFile != "" {
@@ -147,6 +159,14 @@ func runTrials(kind churnnet.ModelKind, n, d, rounds int, seed uint64, trials, p
 	}
 	k := float64(trials)
 	fmt.Printf("  %-6s %10.1f %12.1f %12.2f %10.1f\n", "mean", popSum/k, edgeSum/k, degSum/k, isoSum/k)
+}
+
+// usageError reports a bad flag value and exits with the conventional
+// usage status 2.
+func usageError(msg string) {
+	fmt.Fprintln(os.Stderr, "churnsim:", msg)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func parseKind(s string) (churnnet.ModelKind, error) {

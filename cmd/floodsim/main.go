@@ -35,6 +35,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "floodsim:", err)
 		os.Exit(2)
 	}
+	switch {
+	case *trials < 1:
+		usageError("-trials must be >= 1")
+	case *n < 1:
+		usageError("-n must be >= 1")
+	case *d < 0:
+		usageError("-d must be >= 0")
+	case *maxRounds < 0:
+		usageError("-max-rounds must be >= 0 (0 = default)")
+	}
 	mode := churnnet.Discretized
 	if *async {
 		mode = churnnet.Asynchronous
@@ -73,13 +83,23 @@ func main() {
 		fmt.Printf("rounds           median %.0f, min %.0f, max %.0f\n",
 			rounds[len(rounds)/2], rounds[0], rounds[len(rounds)-1])
 	}
-	sort.Float64s(fractions)
-	fmt.Printf("peak informed    median %.1f%%, min %.1f%%\n",
-		100*fractions[len(fractions)/2], 100*fractions[0])
+	if len(fractions) > 0 {
+		sort.Float64s(fractions)
+		fmt.Printf("peak informed    median %.1f%%, min %.1f%%\n",
+			100*fractions[len(fractions)/2], 100*fractions[0])
+	}
 	if completed == 0 {
 		fmt.Println("\nno completion: in models without regeneration this is the expected")
 		fmt.Println("outcome at constant d (Lemma 3.5/4.10: isolated nodes persist).")
 	}
+}
+
+// usageError reports a bad flag value and exits with the conventional
+// usage status 2.
+func usageError(msg string) {
+	fmt.Fprintln(os.Stderr, "floodsim:", msg)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func parseKind(s string) (churnnet.ModelKind, error) {

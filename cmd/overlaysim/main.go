@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"sort"
 
 	churnnet "github.com/dyngraph/churnnet"
@@ -27,6 +28,21 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "deterministic seed")
 	)
 	flag.Parse()
+
+	switch {
+	case *n < 1:
+		usageError("-n must be >= 1")
+	case *d < 0:
+		usageError("-d must be >= 0")
+	case *maxIn < 0:
+		usageError("-maxin must be >= 0 (0 = unlimited)")
+	case *book < 1:
+		usageError("-book must be >= 1")
+	case *gossip <= 0:
+		usageError("-gossip must be > 0")
+	case *broadcasts < 0:
+		usageError("-broadcasts must be >= 0")
+	}
 
 	fmt.Printf("overlay: n=%d d=%d maxin=%d book=%d gossip=%.1f (seed %d)\n",
 		*n, *d, *maxIn, *book, *gossip, *seed)
@@ -52,7 +68,9 @@ func main() {
 		for j := 0; j < 5; j++ {
 			ov.AdvanceRound()
 		}
-		if !g.IsAlive(ov.LastBorn()) {
+		// The most recent newborn may already have died; keep the clock
+		// moving until a broadcast source exists (Flood panics otherwise).
+		for !g.IsAlive(ov.LastBorn()) {
 			ov.AdvanceRound()
 		}
 		res := churnnet.Flood(ov, churnnet.FloodOptions{})
@@ -67,4 +85,12 @@ func main() {
 		fmt.Printf("rounds           median %.0f, max %.0f\n",
 			rounds[len(rounds)/2], rounds[len(rounds)-1])
 	}
+}
+
+// usageError reports a bad flag value and exits with the conventional
+// usage status 2.
+func usageError(msg string) {
+	fmt.Fprintln(os.Stderr, "overlaysim:", msg)
+	flag.Usage()
+	os.Exit(2)
 }

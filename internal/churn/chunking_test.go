@@ -1,0 +1,65 @@
+package churn
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/dyngraph/churnnet/internal/rng"
+)
+
+func populationState(p *Population) (time float64, round, size, births, deaths int, ages []int) {
+	ages = p.AgesInRounds()
+	sort.Ints(ages)
+	return p.Time(), p.Round(), p.Size(), p.Births(), p.Deaths(), ages
+}
+
+// TestPopulationAdvanceTimeChunkingInvariant is the Population twin of the
+// core.Poisson regression test: advancing the same timeline in different
+// chunk sizes must consume the RNG identically and land in the same state,
+// because the event that overshoots a horizon is carried (residual wait
+// plus kind) instead of being resampled.
+func TestPopulationAdvanceTimeChunkingInvariant(t *testing.T) {
+	const n = 200
+	for seed := uint64(0); seed < 5; seed++ {
+		oneShot := NewPopulation(n, rng.New(seed))
+		perUnit := NewPopulation(n, rng.New(seed))
+		ragged := NewPopulation(n, rng.New(seed))
+
+		const horizon = 3 * n
+		oneShot.AdvanceTime(horizon)
+		for i := 0; i < horizon; i++ {
+			perUnit.AdvanceTime(1)
+		}
+		for elapsed := 0.0; elapsed < horizon; elapsed += 1.3 {
+			step := 1.3
+			if horizon-elapsed < step {
+				step = horizon - elapsed
+			}
+			ragged.AdvanceTime(step)
+		}
+
+		tA, rA, sA, bA, dA, agesA := populationState(oneShot)
+		for name, p := range map[string]*Population{"per-unit": perUnit, "ragged": ragged} {
+			tB, rB, sB, bB, dB, agesB := populationState(p)
+			if tA != tB || rA != rB || sA != sB || bA != bB || dA != dB {
+				t.Fatalf("seed %d: %s chunking diverged: (%v,%d,%d,%d,%d) vs (%v,%d,%d,%d,%d)",
+					seed, name, tA, rA, sA, bA, dA, tB, rB, sB, bB, dB)
+			}
+			if len(agesA) != len(agesB) {
+				t.Fatalf("seed %d: %s age multiset sizes diverged", seed, name)
+			}
+			for i := range agesA {
+				if agesA[i] != agesB[i] {
+					t.Fatalf("seed %d: %s age multisets diverged", seed, name)
+				}
+			}
+		}
+
+		// The carried event must keep subsequent stepping in lockstep too.
+		for i := 0; i < 100; i++ {
+			if oneShot.Step() != perUnit.Step() {
+				t.Fatalf("seed %d: post-advance Step %d diverged", seed, i)
+			}
+		}
+	}
+}

@@ -120,6 +120,13 @@ type Population struct {
 
 	// Counters over the whole history.
 	births, deaths int
+
+	// pending carries the jump-chain event whose wait overshot the last
+	// AdvanceTime horizon (residual wait + kind), making advancement
+	// chunking-invariant; see Population.AdvanceTime.
+	pendingDt   float64
+	pendingKind EventKind
+	hasPending  bool
 }
 
 // NewPopulation returns an empty population with the paper's λ=1, µ=1/n
@@ -143,21 +150,36 @@ func (p *Population) Births() int { return p.births }
 // Deaths returns the number of death events so far.
 func (p *Population) Deaths() int { return p.deaths }
 
-// Step advances one jump-chain round and returns the event that occurred.
-func (p *Population) Step() EventKind {
-	dt, kind := p.proc.Next(p.r, len(p.birthRound))
-	p.time += dt
-	p.round++
+// next returns the pending carried event if one exists, otherwise samples a
+// fresh jump-chain step.
+func (p *Population) next() (dt float64, kind EventKind) {
+	if p.hasPending {
+		p.hasPending = false
+		return p.pendingDt, p.pendingKind
+	}
+	return p.proc.Next(p.r, len(p.birthRound))
+}
+
+// apply executes one jump-chain event.
+func (p *Population) apply(kind EventKind) {
 	if kind == Birth {
 		p.birthRound = append(p.birthRound, p.round)
 		p.births++
-		return Birth
+		return
 	}
 	i := p.r.Intn(len(p.birthRound))
 	p.birthRound[i] = p.birthRound[len(p.birthRound)-1]
 	p.birthRound = p.birthRound[:len(p.birthRound)-1]
 	p.deaths++
-	return Death
+}
+
+// Step advances one jump-chain round and returns the event that occurred.
+func (p *Population) Step() EventKind {
+	dt, kind := p.next()
+	p.time += dt
+	p.round++
+	p.apply(kind)
+	return kind
 }
 
 // StepRounds advances k jump-chain rounds.
@@ -168,27 +190,28 @@ func (p *Population) StepRounds(k int) {
 }
 
 // AdvanceTime runs the chain until at least duration time units have
-// elapsed. Thanks to memorylessness, the wait that overshoots the deadline
-// is simply truncated.
+// elapsed. The event whose exponential wait overshoots the deadline is
+// carried — residual wait and already-sampled kind — to the next call, so
+// AdvanceTime(a); AdvanceTime(b) drains the RNG exactly like
+// AdvanceTime(a+b) and trajectories are independent of snapshot
+// granularity. The carried residual keeps the correct law: no event is
+// applied in between, so the population (hence the rate and the
+// birth/death split) is unchanged, and the exponential residual is again
+// exponential by memorylessness.
 func (p *Population) AdvanceTime(duration float64) {
 	target := p.time + duration
 	for {
-		dt, kind := p.proc.Next(p.r, len(p.birthRound))
+		dt, kind := p.next()
 		if p.time+dt > target {
+			p.pendingDt = p.time + dt - target
+			p.pendingKind = kind
+			p.hasPending = true
 			p.time = target
 			return
 		}
 		p.time += dt
 		p.round++
-		if kind == Birth {
-			p.birthRound = append(p.birthRound, p.round)
-			p.births++
-			continue
-		}
-		i := p.r.Intn(len(p.birthRound))
-		p.birthRound[i] = p.birthRound[len(p.birthRound)-1]
-		p.birthRound = p.birthRound[:len(p.birthRound)-1]
-		p.deaths++
+		p.apply(kind)
 	}
 }
 

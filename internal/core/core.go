@@ -76,10 +76,25 @@ func Kinds() []Kind { return []Kind{SDG, SDGR, PDG, PDGR} }
 
 // Hooks receive model events; any field may be nil. OnBirth runs after the
 // newborn has made its requests; OnDeath runs just before the node is
-// removed, while its edges are still inspectable.
+// removed, while its edges are still inspectable. OnEdge runs right after a
+// request edge u→v is created or re-pointed (rule 1 and rule 3), with both
+// endpoints alive — it lets observers such as the incremental flooding
+// engine track edge-set changes without rescanning neighborhoods.
 type Hooks struct {
 	OnBirth func(h graph.Handle)
 	OnDeath func(h graph.Handle)
+	OnEdge  func(u, v graph.Handle)
+}
+
+// EdgeEventSource is implemented by models whose edge set changes only
+// through events observable via Hooks: every created or redirected edge
+// fires Hooks.OnEdge, and every removal is implied by an OnDeath (rule 2 is
+// the only way an edge disappears). Incremental observers — flood.Run's
+// cut-set engine in particular — require this contract; models that mutate
+// edges behind the hooks' back must not claim it.
+type EdgeEventSource interface {
+	// EmitsEdgeEvents reports whether the edge-event contract above holds.
+	EmitsEdgeEvents() bool
 }
 
 // Model is the dynamic network seen by flooding and measurement code.
@@ -103,6 +118,10 @@ type Model interface {
 	LastBorn() graph.Handle
 	// SetHooks installs event callbacks (replacing any previous ones).
 	SetHooks(Hooks)
+	// Hooks returns the currently installed callbacks, so observers that
+	// need the event stream temporarily (e.g. flood.Run) can chain and
+	// later restore them instead of silently dropping a caller's hooks.
+	Hooks() Hooks
 }
 
 // --- streaming models ---
@@ -166,6 +185,13 @@ func (m *Streaming) LastBorn() graph.Handle { return m.last }
 // SetHooks implements Model.
 func (m *Streaming) SetHooks(h Hooks) { m.hooks = h }
 
+// Hooks implements Model.
+func (m *Streaming) Hooks() Hooks { return m.hooks }
+
+// EmitsEdgeEvents implements EdgeEventSource: every streaming edge comes
+// from makeRequests or regenerate, both of which fire OnEdge.
+func (m *Streaming) EmitsEdgeEvents() bool { return true }
+
 // Step advances one round of Definition 3.2: the node born n rounds ago
 // (if any) dies, then a new node is born and makes its d requests.
 func (m *Streaming) Step() {
@@ -196,7 +222,7 @@ func (m *Streaming) die(h graph.Handle) {
 	}
 	m.buf = m.g.RemoveNode(h, m.buf[:0])
 	if m.kind.Regen() {
-		regenerate(m.g, m.r, m.buf)
+		regenerate(m.g, m.r, m.buf, m.hooks.OnEdge)
 	}
 }
 
@@ -204,7 +230,7 @@ func (m *Streaming) born(round, slot int) {
 	h := m.g.AddNode(float64(round))
 	m.ring[slot] = h
 	m.last = h
-	makeRequests(m.g, m.r, h, m.d)
+	makeRequests(m.g, m.r, h, m.d, m.hooks.OnEdge)
 	if m.hooks.OnBirth != nil {
 		m.hooks.OnBirth(h)
 	}
@@ -227,6 +253,18 @@ type Poisson struct {
 	last   graph.Handle
 	hooks  Hooks
 	buf    []graph.InEdge
+
+	// pending is the jump-chain event whose exponential wait overshot the
+	// last AdvanceTime horizon: the residual wait and the already-sampled
+	// kind are carried to the next call, so AdvanceTime(a); AdvanceTime(b)
+	// consumes the RNG exactly like AdvanceTime(a+b) (chunking invariance).
+	// Valid because no event is applied between sampling and consumption:
+	// the population — and with it both the exponential rate and the
+	// birth/death split — is unchanged, and the exponential residual keeps
+	// the same law by memorylessness.
+	pendingDt   float64
+	pendingKind churn.EventKind
+	hasPending  bool
 }
 
 // NewPoisson builds an empty PDG (regen=false) or PDGR (regen=true) model
@@ -273,9 +311,26 @@ func (m *Poisson) LastBorn() graph.Handle { return m.last }
 // SetHooks implements Model.
 func (m *Poisson) SetHooks(h Hooks) { m.hooks = h }
 
+// Hooks implements Model.
+func (m *Poisson) Hooks() Hooks { return m.hooks }
+
+// EmitsEdgeEvents implements EdgeEventSource: every Poisson edge comes from
+// the birth-request loop or death regeneration, both of which fire OnEdge.
+func (m *Poisson) EmitsEdgeEvents() bool { return true }
+
+// next returns the pending carried event if one exists, otherwise samples a
+// fresh jump-chain step.
+func (m *Poisson) next() (dt float64, kind churn.EventKind) {
+	if m.hasPending {
+		m.hasPending = false
+		return m.pendingDt, m.pendingKind
+	}
+	return m.proc.Next(m.r, m.g.NumAlive())
+}
+
 // StepEvent advances one jump-chain round and returns the event kind.
 func (m *Poisson) StepEvent() churn.EventKind {
-	dt, kind := m.proc.Next(m.r, m.g.NumAlive())
+	dt, kind := m.next()
 	m.time += dt
 	m.round++
 	m.apply(kind)
@@ -283,16 +338,21 @@ func (m *Poisson) StepEvent() churn.EventKind {
 }
 
 // AdvanceRound implements Model: process every churn event in the next
-// unit of continuous time. The exponential wait that overshoots the
-// boundary is truncated, which is exact by memorylessness.
+// unit of continuous time.
 func (m *Poisson) AdvanceRound() { m.AdvanceTime(1) }
 
-// AdvanceTime runs the model forward by duration time units.
+// AdvanceTime runs the model forward by duration time units. The event
+// whose wait overshoots the horizon is carried — residual wait and kind —
+// to the next call, so trajectories do not depend on how the timeline is
+// chunked into AdvanceTime calls.
 func (m *Poisson) AdvanceTime(duration float64) {
 	target := m.time + duration
 	for {
-		dt, kind := m.proc.Next(m.r, m.g.NumAlive())
+		dt, kind := m.next()
 		if m.time+dt > target {
+			m.pendingDt = m.time + dt - target
+			m.pendingKind = kind
+			m.hasPending = true
 			m.time = target
 			return
 		}
@@ -326,6 +386,9 @@ func (m *Poisson) apply(kind churn.EventKind) {
 				break
 			}
 			m.g.AddOutEdge(h, tgt)
+			if m.hooks.OnEdge != nil {
+				m.hooks.OnEdge(h, tgt)
+			}
 		}
 		if m.hooks.OnBirth != nil {
 			m.hooks.OnBirth(h)
@@ -347,34 +410,44 @@ func (m *Poisson) apply(kind churn.EventKind) {
 				continue
 			}
 			m.g.RedirectOutEdge(e.Src, e.Slot, tgt)
+			if m.hooks.OnEdge != nil {
+				m.hooks.OnEdge(e.Src, tgt)
+			}
 		}
 	}
 }
 
 // --- shared edge dynamics ---
 
-// makeRequests performs rule 1: d independent uniform requests from h.
-// In a network with no other node (only during bootstrap) requests cannot
-// be placed and are skipped.
-func makeRequests(g *graph.Graph, r *rng.RNG, h graph.Handle, d int) {
+// makeRequests performs rule 1: d independent uniform requests from h,
+// firing onEdge (if non-nil) per placed edge. In a network with no other
+// node (only during bootstrap) requests cannot be placed and are skipped.
+func makeRequests(g *graph.Graph, r *rng.RNG, h graph.Handle, d int, onEdge func(u, v graph.Handle)) {
 	for i := 0; i < d; i++ {
 		tgt := g.RandomAliveExcept(r, h)
 		if tgt.IsNil() {
 			return
 		}
 		g.AddOutEdge(h, tgt)
+		if onEdge != nil {
+			onEdge(h, tgt)
+		}
 	}
 }
 
-// regenerate performs rule 3 for every request orphaned by a death. A
-// request is dropped only if no other node exists (bootstrap corner case).
-func regenerate(g *graph.Graph, r *rng.RNG, orphans []graph.InEdge) {
+// regenerate performs rule 3 for every request orphaned by a death, firing
+// onEdge (if non-nil) per re-pointed edge. A request is dropped only if no
+// other node exists (bootstrap corner case).
+func regenerate(g *graph.Graph, r *rng.RNG, orphans []graph.InEdge, onEdge func(u, v graph.Handle)) {
 	for _, e := range orphans {
 		tgt := g.RandomAliveExcept(r, e.Src)
 		if tgt.IsNil() {
 			continue
 		}
 		g.RedirectOutEdge(e.Src, e.Slot, tgt)
+		if onEdge != nil {
+			onEdge(e.Src, tgt)
+		}
 	}
 }
 

@@ -48,3 +48,10 @@ func (m *StaticModel) LastBorn() graph.Handle { return m.g.Newest() }
 
 // SetHooks implements Model; a static model emits no events.
 func (m *StaticModel) SetHooks(Hooks) {}
+
+// Hooks implements Model; a static model holds no callbacks.
+func (m *StaticModel) Hooks() Hooks { return Hooks{} }
+
+// EmitsEdgeEvents implements EdgeEventSource: the edge-event contract holds
+// vacuously — a static model never changes its edge set at all.
+func (m *StaticModel) EmitsEdgeEvents() bool { return true }

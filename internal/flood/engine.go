@@ -1,0 +1,339 @@
+package flood
+
+import (
+	"github.com/dyngraph/churnnet/internal/core"
+	"github.com/dyngraph/churnnet/internal/graph"
+)
+
+// engine is the incremental cut-set flooding engine behind Run.
+//
+// Where RunReference rescans every informed node's full multigraph
+// neighborhood each round — O(informed · degree) work plus an O(alive)
+// accounting pass — the engine maintains the set of live candidate edges
+// (informed sender → uninformed receiver) as a persistent structure and
+// updates it only on the events that can change the cut:
+//
+//   - a node crossing the cut (admission, or the source seed): its
+//     uninformed neighbors gain it as a sender — one neighborhood scan per
+//     node per broadcast, not per round;
+//   - a death (Hooks.OnDeath): cut edges incident to the dead node vanish —
+//     receiver-side eagerly, sender-side lazily at the next freeze;
+//   - an edge creation or regeneration (Hooks.OnEdge, rules 1 and 3): a
+//     request whose endpoints straddle the cut becomes a candidate.
+//
+// Completion detection is O(1) per round via two counters maintained by the
+// same events: informedAlive (informed nodes currently alive; every
+// informed node predates the running round, so it equals the reference's
+// requiredInformed) and preRoundAlive (alive nodes born before the round,
+// decremented when a pre-round node dies). Definition 3.3 completion is
+// informedAlive == preRoundAlive; strict completion is informedAlive ==
+// NumAlive.
+//
+// The per-receiver sender lists are slot-indexed and generation-tagged so
+// slot reuse under churn never leaks entries between node incarnations.
+// Lists may hold duplicate or dead senders between freezes; the freeze pass
+// before each round compacts them, which keeps every round's frozen
+// candidates exactly the live cut of the pre-advance snapshot — the same
+// pairs RunReference captures, so results match bit for bit (pinned by
+// TestEngineMatchesReference and the cut recompute check in engine_test.go).
+type engine struct {
+	m    core.Model
+	g    *graph.Graph
+	opts Options
+
+	maxRounds int
+	src       graph.Handle
+
+	informed graph.Marks // ever-informed nodes (marks of dead handles are inert)
+	scan     graph.Marks // per-crossing receiver dedup scratch
+
+	// frontier holds nodes that crossed the cut but whose neighborhoods
+	// have not been scanned yet. Scanning is deferred to the next freeze:
+	// a run that stops at completion (or die-out) never pays for scanning
+	// its final admission wave — on fast-completing models that wave is
+	// nearly the whole network. No event can intervene between a crossing
+	// and the next freeze, so deferral observes the same snapshot an eager
+	// scan would; edges created later reach the cut via noteEdge, which
+	// needs only the informed marks (set eagerly).
+	frontier []graph.Handle
+
+	senders   [][]graph.Handle // per slot: informed senders adjacent to the tracked receiver
+	recvGen   []uint32         // per slot: generation the list belongs to; 0 = untracked
+	receivers []graph.Handle   // tracked (possibly stale) receivers; compacted at freeze
+	frozenLen []int            // per frozen receiver: sender-list length at freeze
+
+	informedAlive int    // informed ∧ alive — the reference's requiredInformed
+	preRoundAlive int    // alive ∧ born before the running round — the reference's required
+	roundStartSeq uint64 // birth-seq horizon of the running round
+
+	res Result
+
+	// onFreeze, when non-nil, observes the frozen cut (receivers[:nFrozen]
+	// with frozenLen) right before the model advances — test-only
+	// instrumentation for the recomputed-from-scratch cut comparison.
+	onFreeze func(nFrozen int)
+}
+
+// runEngine is Run's fast path; see the engine type for the contract.
+func runEngine(m core.Model, opts Options) Result {
+	return newEngine(m, opts).run()
+}
+
+func newEngine(m core.Model, opts Options) *engine {
+	g := m.Graph()
+	src := opts.Source
+	if src.IsNil() {
+		src = m.LastBorn()
+	}
+	if !g.IsAlive(src) {
+		panic("flood: source is not an alive node")
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds(m.N())
+	}
+	e := &engine{m: m, g: g, opts: opts, maxRounds: maxRounds, src: src}
+	e.growTo(g.NumSlots())
+	return e
+}
+
+func (e *engine) growTo(n int) {
+	if n <= len(e.senders) {
+		return
+	}
+	ns := make([][]graph.Handle, n*2)
+	copy(ns, e.senders)
+	e.senders = ns
+	ng := make([]uint32, n*2)
+	copy(ng, e.recvGen)
+	e.recvGen = ng
+}
+
+// appendSender records s as an informed neighbor of the uninformed receiver
+// x, re-tagging the slot-indexed list when x is its first tracked owner (or
+// the slot's previous incarnation was dropped).
+func (e *engine) appendSender(x, s graph.Handle) {
+	e.growTo(int(x.Slot) + 1)
+	if e.recvGen[x.Slot] != x.Gen {
+		e.senders[x.Slot] = e.senders[x.Slot][:0]
+		e.recvGen[x.Slot] = x.Gen
+		e.receivers = append(e.receivers, x)
+	}
+	e.senders[x.Slot] = append(e.senders[x.Slot], s)
+}
+
+// untrack clears h's receiver tracking if the list is still h's.
+func (e *engine) untrack(h graph.Handle) {
+	if int(h.Slot) < len(e.recvGen) && e.recvGen[h.Slot] == h.Gen {
+		e.senders[h.Slot] = e.senders[h.Slot][:0]
+		e.recvGen[h.Slot] = 0
+	}
+}
+
+// cross moves v to the informed side of the cut: v stops being a receiver
+// immediately, and its neighborhood scan — which turns its uninformed
+// neighbors into receivers — is queued for the next freeze.
+func (e *engine) cross(v graph.Handle) {
+	e.informed.Mark(v)
+	e.untrack(v)
+	e.frontier = append(e.frontier, v)
+}
+
+// drainFrontier performs the one-off neighborhood scan of every node that
+// crossed the cut since the last freeze. This replaces the reference's
+// per-round rescan of all informed nodes; the scratch marks dedup
+// multigraph parallel edges and the out+in double visit of Neighbors, so
+// each neighbor is appended at most once per crossing.
+func (e *engine) drainFrontier() {
+	for _, v := range e.frontier {
+		e.scan.Reset()
+		e.g.Neighbors(v, func(x graph.Handle) bool {
+			if !e.informed.Has(x) && e.scan.Mark(x) {
+				e.appendSender(x, v)
+			}
+			return true
+		})
+	}
+	e.frontier = e.frontier[:0]
+}
+
+// noteDeath maintains the completion counters and drops the dead node's
+// receiver side of the cut. Sender-side entries naming the dead node stay
+// in other receivers' lists until the next freeze compacts them.
+func (e *engine) noteDeath(h graph.Handle) {
+	if e.informed.Has(h) {
+		e.informedAlive--
+	}
+	if e.g.BirthSeq(h) < e.roundStartSeq {
+		e.preRoundAlive--
+	}
+	e.untrack(h)
+}
+
+// noteEdge classifies a freshly created request edge u→v against the cut:
+// only edges with exactly one informed endpoint are candidates. Edges made
+// during a round join the cut for the next round — they are appended after
+// the freeze, so the running round's frozen candidates are untouched,
+// matching the reference's pre-advance capture.
+func (e *engine) noteEdge(u, v graph.Handle) {
+	ui, vi := e.informed.Has(u), e.informed.Has(v)
+	if ui == vi {
+		return
+	}
+	if ui {
+		e.appendSender(v, u)
+	} else {
+		e.appendSender(u, v)
+	}
+}
+
+// freeze compacts the tracked receivers into the live cut of the current
+// snapshot and returns how many receivers carry candidates this round:
+// dead or informed receivers are dropped, dead senders are compacted out of
+// the surviving lists, and the per-receiver list lengths are recorded so
+// edges created during the upcoming advance are excluded from this round's
+// admission.
+func (e *engine) freeze() int {
+	e.drainFrontier()
+	g := e.g
+	n := 0
+	e.frozenLen = e.frozenLen[:0]
+	for _, v := range e.receivers {
+		if !g.IsAlive(v) || e.informed.Has(v) {
+			e.untrack(v)
+			continue
+		}
+		lst := e.senders[v.Slot]
+		w := 0
+		for _, s := range lst {
+			if g.IsAlive(s) {
+				lst[w] = s
+				w++
+			}
+		}
+		e.senders[v.Slot] = lst[:w]
+		if w == 0 {
+			e.recvGen[v.Slot] = 0
+			continue
+		}
+		e.receivers[n] = v
+		e.frozenLen = append(e.frozenLen, w)
+		n++
+	}
+	e.receivers = e.receivers[:n]
+	return n
+}
+
+func (e *engine) run() Result {
+	m, g := e.m, e.g
+	prev := m.Hooks()
+	m.SetHooks(core.Hooks{
+		OnBirth: prev.OnBirth, // newborns are uninformed; their edges arrive via OnEdge
+		OnDeath: func(h graph.Handle) {
+			e.noteDeath(h)
+			if prev.OnDeath != nil {
+				prev.OnDeath(h)
+			}
+		},
+		OnEdge: func(u, v graph.Handle) {
+			e.noteEdge(u, v)
+			if prev.OnEdge != nil {
+				prev.OnEdge(u, v)
+			}
+		},
+	})
+	defer m.SetHooks(prev)
+
+	e.res = Result{
+		Source:                e.src,
+		CompletionRound:       -1,
+		StrictCompletionRound: -1,
+		DiedOutRound:          -1,
+		PeakInformed:          1,
+		EverInformed:          1,
+	}
+	res := &e.res
+	alive0 := g.NumAlive()
+	if alive0 > 0 {
+		res.PeakFraction = 1 / float64(alive0)
+	}
+	if e.opts.KeepTrajectory {
+		res.Informed = append(res.Informed, 1)
+		res.Alive = append(res.Alive, alive0)
+	}
+	e.informedAlive = 1
+	e.cross(e.src)
+
+	for round := 1; round <= e.maxRounds; round++ {
+		nFrozen := e.freeze()
+		e.roundStartSeq = g.NextBirthSeq()
+		e.preRoundAlive = g.NumAlive()
+		if e.onFreeze != nil {
+			e.onFreeze(nFrozen)
+		}
+
+		m.AdvanceRound()
+		res.Rounds = round
+
+		// Admission over the frozen candidates: a receiver still alive is
+		// informed when some frozen sender qualifies — any of them under
+		// Asynchronous semantics (the edge existed in the previous
+		// snapshot), a still-alive one under Discretized.
+		for i := 0; i < nFrozen; i++ {
+			v := e.receivers[i]
+			if !g.IsAlive(v) || e.informed.Has(v) {
+				continue
+			}
+			admit := false
+			for _, s := range e.senders[v.Slot][:e.frozenLen[i]] {
+				if e.opts.Mode == Asynchronous || g.IsAlive(s) {
+					admit = true
+					break
+				}
+			}
+			if admit {
+				res.EverInformed++
+				e.informedAlive++
+				e.cross(v)
+			}
+		}
+
+		// Round accounting from the counters alone — no graph pass. Every
+		// informed alive node predates the round (admission only reaches
+		// nodes alive at the freeze), so informedAlive doubles as the
+		// count of informed pre-round nodes.
+		informedAlive := e.informedAlive
+		alive := g.NumAlive()
+		if e.opts.KeepTrajectory {
+			res.Informed = append(res.Informed, informedAlive)
+			res.Alive = append(res.Alive, alive)
+		}
+		if informedAlive > res.PeakInformed {
+			res.PeakInformed = informedAlive
+		}
+		if alive > 0 {
+			if f := float64(informedAlive) / float64(alive); f > res.PeakFraction {
+				res.PeakFraction = f
+			}
+		}
+		res.FinalInformed, res.FinalAlive = informedAlive, alive
+
+		if informedAlive == e.preRoundAlive && !res.Completed {
+			res.Completed = true
+			res.CompletionRound = round
+		}
+		if informedAlive == alive && !res.StrictlyCompleted {
+			res.StrictlyCompleted = true
+			res.StrictCompletionRound = round
+		}
+		if informedAlive == 0 {
+			res.DiedOut = true
+			res.DiedOutRound = round
+			break // absorbing: nobody is left to transmit
+		}
+		if res.Completed && !e.opts.RunToMax {
+			break
+		}
+	}
+	return e.res
+}

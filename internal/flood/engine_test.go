@@ -1,0 +1,267 @@
+package flood
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/dyngraph/churnnet/internal/core"
+	"github.com/dyngraph/churnnet/internal/graph"
+	"github.com/dyngraph/churnnet/internal/overlay"
+	"github.com/dyngraph/churnnet/internal/rng"
+	"github.com/dyngraph/churnnet/internal/staticgraph"
+)
+
+// TestEngineMatchesReference pins the equivalence contract: the cut-set
+// engine and the full-rescan reference produce bit-for-bit identical
+// Results on every model × mode across seeded trials. Two identically
+// seeded models see identical churn streams (flooding consumes no
+// randomness), so any divergence is an engine bookkeeping bug.
+func TestEngineMatchesReference(t *testing.T) {
+	modes := []Mode{Discretized, Asynchronous}
+	for _, kind := range core.Kinds() {
+		for _, mode := range modes {
+			kind, mode := kind, mode
+			t.Run(kind.String()+"-"+mode.String(), func(t *testing.T) {
+				t.Parallel()
+				for seed := uint64(0); seed < 20; seed++ {
+					n := 80 + int(seed%4)*40
+					d := 2 + int(seed%9)
+					opts := Options{
+						Mode:           mode,
+						MaxRounds:      30,
+						KeepTrajectory: true,
+						RunToMax:       seed%2 == 0,
+					}
+
+					mEng := core.New(kind, n, d, rng.New(seed))
+					mRef := core.New(kind, n, d, rng.New(seed))
+					core.WarmUp(mEng)
+					core.WarmUp(mRef)
+					for !mEng.Graph().IsAlive(mEng.LastBorn()) {
+						mEng.AdvanceRound()
+						mRef.AdvanceRound()
+					}
+					opts.Source = mEng.LastBorn()
+
+					got := runEngine(mEng, opts)
+					want := RunReference(mRef, opts)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("seed %d (n=%d d=%d): engine and reference diverged\nengine:    %+v\nreference: %+v",
+							seed, n, d, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRunDispatchesToEngine checks that Run selects the engine for models
+// with the edge-event contract and falls back to the reference otherwise —
+// and that a caller cannot tell the difference.
+func TestRunDispatchesToEngine(t *testing.T) {
+	build := func() core.Model {
+		m := core.New(core.SDGR, 200, 8, rng.New(11))
+		core.WarmUp(m)
+		return m
+	}
+	opts := Options{MaxRounds: 25, KeepTrajectory: true}
+	viaRun := Run(build(), opts)
+	viaEngine := runEngine(build(), opts)
+	viaFallback := Run(noEdgeEvents{build()}, opts)
+	if !reflect.DeepEqual(viaRun, viaEngine) {
+		t.Fatalf("Run did not match the engine:\n%+v\n%+v", viaRun, viaEngine)
+	}
+	if !reflect.DeepEqual(viaFallback, viaRun) {
+		t.Fatalf("reference fallback diverged:\n%+v\n%+v", viaFallback, viaRun)
+	}
+}
+
+// noEdgeEvents hides the concrete model's EdgeEventSource implementation,
+// forcing Run onto the reference path.
+type noEdgeEvents struct{ core.Model }
+
+// TestEngineRestoresHooks checks that flooding chains a caller's hooks
+// while running and restores them afterwards.
+func TestEngineRestoresHooks(t *testing.T) {
+	m := core.New(core.PDGR, 150, 6, rng.New(3))
+	core.WarmUp(m)
+	births := 0
+	userHooks := core.Hooks{OnBirth: func(graph.Handle) { births++ }}
+	m.SetHooks(userHooks)
+	Run(m, Options{MaxRounds: 15, RunToMax: true})
+	if births == 0 {
+		t.Fatal("caller's OnBirth hook was not chained during flooding")
+	}
+	after := m.Hooks()
+	if after.OnDeath != nil || after.OnEdge != nil || after.OnBirth == nil {
+		t.Fatalf("hooks not restored after flooding: %+v", after)
+	}
+	before := births
+	m.AdvanceRound()
+	if births == before && m.Kind().Poisson() {
+		// One round of Poisson churn at n=150 virtually always births.
+		t.Log("no birth in post-run round (rare but possible)")
+	}
+}
+
+// TestEngineCutMatchesRecompute is the churn-heavy bookkeeping property
+// test: at every freeze, the engine's frozen cut — tracked receivers with
+// their compacted sender lists — must equal the cut recomputed from
+// scratch out of the snapshot: for every alive uninformed node, its set of
+// distinct informed alive neighbors.
+func TestEngineCutMatchesRecompute(t *testing.T) {
+	cases := []struct {
+		kind core.Kind
+		n, d int
+		mode Mode
+	}{
+		{core.PDGR, 120, 6, Discretized},
+		{core.PDGR, 120, 3, Asynchronous},
+		{core.PDG, 150, 4, Discretized},
+		{core.SDGR, 100, 5, Discretized},
+		{core.SDG, 100, 3, Asynchronous},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.kind.String()+"-"+c.mode.String(), func(t *testing.T) {
+			t.Parallel()
+			for seed := uint64(0); seed < 4; seed++ {
+				m := core.New(c.kind, c.n, c.d, rng.New(seed))
+				core.WarmUp(m)
+				for !m.Graph().IsAlive(m.LastBorn()) {
+					m.AdvanceRound()
+				}
+				e := newEngine(m, Options{
+					Source: m.LastBorn(),
+					Mode:   c.mode,
+					// A horizon well past completion keeps churning the
+					// informed network, exercising slot reuse and
+					// regeneration against a saturated cut.
+					MaxRounds: 50,
+					RunToMax:  true,
+				})
+				round := 0
+				e.onFreeze = func(nFrozen int) {
+					round++
+					checkFrozenCut(t, e, nFrozen, seed, round)
+				}
+				e.run()
+				if round == 0 {
+					t.Fatal("freeze never observed")
+				}
+			}
+		})
+	}
+}
+
+// checkFrozenCut compares the engine's frozen cut with a from-scratch
+// recomputation over the current snapshot.
+func checkFrozenCut(t *testing.T, e *engine, nFrozen int, seed uint64, round int) {
+	t.Helper()
+	g := e.g
+
+	// Recompute: alive uninformed node -> set of distinct informed alive
+	// neighbors.
+	want := map[graph.Handle]map[graph.Handle]bool{}
+	g.ForEachAlive(func(v graph.Handle) bool {
+		if e.informed.Has(v) {
+			return true
+		}
+		var set map[graph.Handle]bool
+		g.Neighbors(v, func(u graph.Handle) bool {
+			if e.informed.Has(u) {
+				if set == nil {
+					set = map[graph.Handle]bool{}
+				}
+				set[u] = true
+			}
+			return true
+		})
+		if set != nil {
+			want[v] = set
+		}
+		return true
+	})
+
+	got := map[graph.Handle]map[graph.Handle]bool{}
+	for i := 0; i < nFrozen; i++ {
+		v := e.receivers[i]
+		if _, dup := got[v]; dup {
+			t.Fatalf("seed %d round %d: receiver %v frozen twice", seed, round, v)
+		}
+		if !g.IsAlive(v) || e.informed.Has(v) {
+			t.Fatalf("seed %d round %d: frozen receiver %v is dead or informed", seed, round, v)
+		}
+		set := map[graph.Handle]bool{}
+		for _, s := range e.senders[v.Slot][:e.frozenLen[i]] {
+			if !g.IsAlive(s) || !e.informed.Has(s) {
+				t.Fatalf("seed %d round %d: frozen sender %v of %v is dead or uninformed", seed, round, s, v)
+			}
+			set[s] = true
+		}
+		got[v] = set
+	}
+
+	if len(got) != len(want) {
+		t.Fatalf("seed %d round %d: frozen cut has %d receivers, recompute has %d\ngot  %v\nwant %v",
+			seed, round, len(got), len(want), got, want)
+	}
+	for v, wantSet := range want {
+		gotSet, ok := got[v]
+		if !ok {
+			t.Fatalf("seed %d round %d: receiver %v missing from frozen cut (want senders %v)",
+				seed, round, v, wantSet)
+		}
+		if !reflect.DeepEqual(gotSet, wantSet) {
+			t.Fatalf("seed %d round %d: receiver %v senders diverged\ngot  %v\nwant %v",
+				seed, round, v, gotSet, wantSet)
+		}
+	}
+}
+
+// TestEngineOverlayMatchesReference extends the differential check to the
+// address-gossip overlay, whose edges are dialed from bounded address
+// books rather than drawn uniformly — the engine must observe them through
+// the same OnEdge events as the core models.
+func TestEngineOverlayMatchesReference(t *testing.T) {
+	t.Parallel()
+	build := func(seed uint64) core.Model {
+		o := overlay.New(overlay.Config{N: 200, D: 8, MaxIn: 64}, rng.New(seed))
+		o.WarmUp()
+		for !o.Graph().IsAlive(o.LastBorn()) {
+			o.AdvanceRound()
+		}
+		return o
+	}
+	for seed := uint64(0); seed < 3; seed++ {
+		mEng, mRef := build(seed), build(seed)
+		opts := Options{
+			Source:         mEng.LastBorn(),
+			MaxRounds:      25,
+			KeepTrajectory: true,
+			RunToMax:       seed%2 == 0,
+		}
+		got := runEngine(mEng, opts)
+		want := RunReference(mRef, opts)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: overlay engine/reference diverged\n%+v\n%+v", seed, got, want)
+		}
+	}
+}
+
+// TestEngineStaticMatchesReference extends the differential check to the
+// churn-free static baseline, where the cut structure must stay valid
+// across rounds with no events at all.
+func TestEngineStaticMatchesReference(t *testing.T) {
+	t.Parallel()
+	for seed := uint64(0); seed < 3; seed++ {
+		gEng, hs := staticgraph.DOut(400, 5, rng.New(seed))
+		gRef, _ := staticgraph.DOut(400, 5, rng.New(seed))
+		opts := Options{Source: hs[0], MaxRounds: 30, KeepTrajectory: true}
+		got := runEngine(core.NewStaticModel(gEng, 5), opts)
+		want := RunReference(core.NewStaticModel(gRef, 5), opts)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: static engine/reference diverged\n%+v\n%+v", seed, got, want)
+		}
+	}
+}

@@ -16,6 +16,12 @@
 // this coincides exactly with Definition 3.3; for Poisson models it is
 // Definition 4.3 (Discretized) or 4.2 (Asynchronous).
 //
+// Two implementations share that mechanism: RunReference captures the
+// candidates by rescanning every informed node's neighborhood each round
+// (the executable form of the definitions), while the cut-set engine
+// behind Run maintains them incrementally from the models' edge-level
+// events (see engine.go). They produce bit-for-bit identical Results.
+//
 // Completion follows Definition 3.3: the broadcast is complete at round t
 // when I_t ⊇ N_{t−1} ∩ N_t, i.e. every alive node that was already present
 // at the start of the round is informed. StrictlyComplete additionally
@@ -131,7 +137,27 @@ type pair struct {
 
 // Run floods over m per opts and returns the outcome. It panics if no
 // source node is available (empty network and Nil source).
+//
+// When the model guarantees the edge-event contract of
+// core.EdgeEventSource (all four paper models, the static baseline and the
+// overlay do), Run uses the incremental cut-set engine, which maintains
+// the informed→uninformed candidate edges under churn events instead of
+// rescanning every informed neighborhood each round; see engine.go. The
+// engine's Result is bit-for-bit identical to RunReference's — pinned by
+// the differential tests — so callers never observe which path ran. Models
+// without the contract fall back to RunReference.
 func Run(m core.Model, opts Options) Result {
+	if es, ok := m.(core.EdgeEventSource); ok && es.EmitsEdgeEvents() {
+		return runEngine(m, opts)
+	}
+	return RunReference(m, opts)
+}
+
+// RunReference floods over m per opts with the straightforward per-round
+// full rescan of every informed node's neighborhood. It is the executable
+// form of Definitions 3.3/4.2/4.3 and the oracle the cut-set engine is
+// pinned against; use Run for real workloads.
+func RunReference(m core.Model, opts Options) Result {
 	g := m.Graph()
 	src := opts.Source
 	if src.IsNil() {
@@ -162,7 +188,7 @@ func Run(m core.Model, opts Options) Result {
 		res.Alive = append(res.Alive, alive0)
 	}
 
-	var informedSet graph.Marks
+	var informedSet, seen graph.Marks
 	informedSet.Mark(src)
 	informedList := []graph.Handle{src}
 	var candidates []pair
@@ -170,7 +196,11 @@ func Run(m core.Model, opts Options) Result {
 	for round := 1; round <= maxRounds; round++ {
 		// Capture candidate transmissions in the current snapshot. Every
 		// informed node is scanned (not only the latest frontier) because
-		// churn keeps attaching new edges to long-informed nodes.
+		// churn keeps attaching new edges to long-informed nodes. Each
+		// sender's scan dedups its receivers with an epoch-marked scratch:
+		// multigraph parallel edges and the out+in double visit of
+		// Neighbors would otherwise repeat (sender, receiver) pairs, and
+		// admission only needs some surviving sender per distinct pair.
 		candidates = candidates[:0]
 		w := 0
 		for _, u := range informedList {
@@ -179,8 +209,9 @@ func Run(m core.Model, opts Options) Result {
 			}
 			informedList[w] = u
 			w++
+			seen.Reset()
 			g.Neighbors(u, func(v graph.Handle) bool {
-				if !informedSet.Has(v) {
+				if !informedSet.Has(v) && seen.Mark(v) {
 					candidates = append(candidates, pair{sender: u, receiver: v})
 				}
 				return true

@@ -312,6 +312,37 @@ func BenchmarkFloodPDGR(b *testing.B) {
 
 var sinkResult Result
 
+// The engine-vs-reference pairs below time the same workloads on both
+// implementations; cmd/benchjson emits the machine-readable version
+// (BENCH_flood.json) including the large-n record.
+
+func benchImpl(b *testing.B, run func(core.Model, Options) Result, opts Options) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := core.NewStreaming(5000, 21, true, rng.New(uint64(i)))
+		m.WarmUp()
+		b.StartTimer()
+		sinkResult = run(m, opts)
+	}
+}
+
+func BenchmarkFloodEngineSDGRComplete(b *testing.B) {
+	benchImpl(b, Run, Options{})
+}
+
+func BenchmarkFloodReferenceSDGRComplete(b *testing.B) {
+	benchImpl(b, RunReference, Options{})
+}
+
+func BenchmarkFloodEngineSDGRWindow(b *testing.B) {
+	benchImpl(b, Run, Options{MaxRounds: 60, RunToMax: true})
+}
+
+func BenchmarkFloodReferenceSDGRWindow(b *testing.B) {
+	benchImpl(b, RunReference, Options{MaxRounds: 60, RunToMax: true})
+}
+
 func BenchmarkFloodStatic(b *testing.B) {
 	g, _ := staticgraph.DOut(5000, 8, rng.New(1))
 	b.ResetTimer()

@@ -100,53 +100,63 @@ func TestRunMatchesOracle(t *testing.T) {
 		{core.PDGR, 150, 8, Discretized},
 		{core.PDGR, 150, 8, Asynchronous},
 	}
+	impls := []struct {
+		name string
+		run  func(core.Model, Options) Result
+	}{
+		{"engine", Run},
+		{"reference", RunReference},
+	}
 	const rounds = 12
-	for _, c := range cases {
-		c := c
-		name := c.kind.String() + "-" + c.mode.String()
-		t.Run(name, func(t *testing.T) {
-			for seed := uint64(0); seed < 3; seed++ {
-				// Two identically seeded models: one for the engine, one
-				// for the oracle; their churn streams are identical.
-				mEngine := core.New(c.kind, c.n, c.d, rng.New(seed))
-				mOracle := core.New(c.kind, c.n, c.d, rng.New(seed))
-				core.WarmUp(mEngine)
-				core.WarmUp(mOracle)
-				src := mEngine.LastBorn()
-				srcO := mOracle.LastBorn()
-				if src.Slot != srcO.Slot || src.Gen != srcO.Gen {
-					t.Fatal("models diverged before flooding")
-				}
-				res := Run(mEngine, Options{
-					Source: src, Mode: c.mode, MaxRounds: rounds,
-					KeepTrajectory: true, RunToMax: true,
-				})
-				want := runOracle(mOracle, srcO, rounds, c.mode)
-				// The engine stops as soon as the broadcast dies out; the
-				// oracle keeps counting zeros. Prefixes must match exactly
-				// and any early stop must be a genuine die-out.
-				if len(res.Informed) < len(want) {
-					if !res.DiedOut {
-						t.Fatalf("seed %d: engine stopped early without dying out", seed)
+	for _, impl := range impls {
+		for _, c := range cases {
+			c, impl := c, impl
+			t.Run(impl.name+"/"+c.kind.String()+"-"+c.mode.String(), func(t *testing.T) {
+				for seed := uint64(0); seed < 3; seed++ {
+					// Two identically seeded models: one for the tested
+					// implementation, one for the oracle; their churn
+					// streams are identical.
+					mImpl := core.New(c.kind, c.n, c.d, rng.New(seed))
+					mOracle := core.New(c.kind, c.n, c.d, rng.New(seed))
+					core.WarmUp(mImpl)
+					core.WarmUp(mOracle)
+					src := mImpl.LastBorn()
+					srcO := mOracle.LastBorn()
+					if src.Slot != srcO.Slot || src.Gen != srcO.Gen {
+						t.Fatal("models diverged before flooding")
 					}
-					for _, c := range want[len(res.Informed):] {
-						if c != 0 {
-							t.Fatalf("seed %d: engine died out but oracle counts %v", seed, want)
+					res := impl.run(mImpl, Options{
+						Source: src, Mode: c.mode, MaxRounds: rounds,
+						KeepTrajectory: true, RunToMax: true,
+					})
+					want := runOracle(mOracle, srcO, rounds, c.mode)
+					// The implementation stops as soon as the broadcast dies
+					// out; the oracle keeps counting zeros. Prefixes must
+					// match exactly and any early stop must be a genuine
+					// die-out.
+					if len(res.Informed) < len(want) {
+						if !res.DiedOut {
+							t.Fatalf("seed %d: run stopped early without dying out", seed)
+						}
+						for _, c := range want[len(res.Informed):] {
+							if c != 0 {
+								t.Fatalf("seed %d: run died out but oracle counts %v", seed, want)
+							}
+						}
+						want = want[:len(res.Informed)]
+					}
+					if len(res.Informed) != len(want) {
+						t.Fatalf("seed %d: trajectory lengths %d vs %d", seed, len(res.Informed), len(want))
+					}
+					for i := range want {
+						if res.Informed[i] != want[i] {
+							t.Fatalf("seed %d round %d: run %d, oracle %d\nrun %v\noracle %v",
+								seed, i, res.Informed[i], want[i], res.Informed, want)
 						}
 					}
-					want = want[:len(res.Informed)]
 				}
-				if len(res.Informed) != len(want) {
-					t.Fatalf("seed %d: trajectory lengths %d vs %d", seed, len(res.Informed), len(want))
-				}
-				for i := range want {
-					if res.Informed[i] != want[i] {
-						t.Fatalf("seed %d round %d: engine %d, oracle %d\nengine %v\noracle %v",
-							seed, i, res.Informed[i], want[i], res.Informed, want)
-					}
-				}
-			}
-		})
+			})
+		}
 	}
 }
 

@@ -133,6 +133,13 @@ func (o *Overlay) LastBorn() graph.Handle { return o.last }
 // SetHooks implements core.Model.
 func (o *Overlay) SetHooks(h core.Hooks) { o.hooks = h }
 
+// Hooks implements core.Model.
+func (o *Overlay) Hooks() core.Hooks { return o.hooks }
+
+// EmitsEdgeEvents implements core.EdgeEventSource: every overlay edge is
+// dialed in maintain, which fires OnEdge.
+func (o *Overlay) EmitsEdgeEvents() bool { return true }
+
 // AdvanceRound implements core.Model: one unit of simulated time.
 func (o *Overlay) AdvanceRound() { o.AdvanceTime(1) }
 
@@ -308,6 +315,9 @@ func (o *Overlay) maintain(h graph.Handle) {
 		if a := o.dial(h); !a.IsNil() {
 			o.g.RedirectOutEdge(h, idx, a)
 			o.in[a.Slot]++
+			if o.hooks.OnEdge != nil {
+				o.hooks.OnEdge(h, a)
+			}
 		}
 	}
 	// Open new slots until the target degree is reached.
@@ -318,6 +328,9 @@ func (o *Overlay) maintain(h graph.Handle) {
 		}
 		o.g.AddOutEdge(h, a)
 		o.in[a.Slot]++
+		if o.hooks.OnEdge != nil {
+			o.hooks.OnEdge(h, a)
+		}
 	}
 }
 
