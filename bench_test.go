@@ -101,6 +101,22 @@ func BenchmarkModelWarmUpPDGR(b *testing.B) {
 	}
 }
 
+// The stationary-sampling pairs of the two warm-up benchmarks above: same
+// state distribution, built directly (see BENCH_warmup.json for the
+// large-n record).
+
+func BenchmarkModelSampleStationarySDGR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		churnnet.NewStationaryModel(churnnet.SDGR, 5000, 21, uint64(i))
+	}
+}
+
+func BenchmarkModelSampleStationaryPDGR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		churnnet.NewStationaryModel(churnnet.PDGR, 5000, 35, uint64(i))
+	}
+}
+
 func BenchmarkFloodCompletePDGR(b *testing.B) {
 	m := churnnet.NewWarmModel(churnnet.PDGR, 5000, 35, 1)
 	b.ResetTimer()

@@ -90,11 +90,35 @@ func NewModel(kind ModelKind, n, d int, seed uint64) Model {
 
 // NewWarmModel builds a model and warms it to its measurement-ready state:
 // 2n rounds for streaming models, 7·n·ln n churn events for Poisson models
-// (the paper's horizons).
+// (the paper's horizons). For large n prefer NewStationaryModel, which
+// reaches the same state distribution in O(n·d) by sampling it directly.
 func NewWarmModel(kind ModelKind, n, d int, seed uint64) Model {
 	m := NewModel(kind, n, d, seed)
 	core.WarmUp(m)
 	return m
+}
+
+// NewStationaryModel builds a measurement-ready model by sampling the
+// stationary snapshot directly — the stationary age profile (the last n
+// rounds for streaming models; a Poisson(n)-sized population with
+// exponential ages for Poisson models) wired per the destination laws of
+// Lemmas 3.14/4.15 — instead of simulating the warm-up transient. It is
+// equivalent to NewWarmModel in distribution (exactly for SDG/SDGR, with
+// exact marginals for PDG/PDGR; the contract is pinned by the
+// distributional-equivalence suite in internal/core) but runs in O(n·d):
+// at n = 10⁶ it replaces minutes of Poisson warm-up with about a second
+// (see BENCH_warmup.json). Deterministic given the seed, though a
+// different draw than NewWarmModel with the same seed.
+func NewStationaryModel(kind ModelKind, n, d int, seed uint64) Model {
+	return core.SampleStationary(kind, n, d, rng.New(seed))
+}
+
+// NewReadyModel builds a measurement-ready model: NewStationaryModel when
+// fastWarmUp is set, NewWarmModel otherwise — the one dispatch point
+// behind every fast-warm-up knob (ExperimentConfig.FastWarmUp, the CLIs'
+// -fastwarmup flags).
+func NewReadyModel(kind ModelKind, n, d int, seed uint64, fastWarmUp bool) Model {
+	return core.NewReadyModel(kind, n, d, rng.New(seed), fastWarmUp)
 }
 
 // NewStaticModel wraps a fixed graph as a churn-free Model (the baseline of
@@ -305,9 +329,11 @@ func ParseScale(s string) (Scale, error) { return experiments.ParseScale(s) }
 type Experiment = experiments.Experiment
 
 // ExperimentConfig parameterizes experiment execution: scale, root seed,
-// the trial-parallelism cap (0 = GOMAXPROCS, 1 = serial) and an optional
-// per-trial progress callback. Results are bit-identical at every
-// parallelism setting.
+// the trial-parallelism cap (0 = GOMAXPROCS, 1 = serial), an optional
+// per-trial progress callback, and the FastWarmUp knob that builds trial
+// models by direct stationary sampling (NewStationaryModel) instead of
+// simulated warm-up. Results are bit-identical at every parallelism
+// setting.
 type ExperimentConfig = experiments.Config
 
 // ResultTable is a rendered experiment result.

@@ -22,6 +22,32 @@ func TestQuickstartFlow(t *testing.T) {
 	}
 }
 
+// TestStationaryModelFacade exercises the fast-warm-up facade: sampled
+// models must be measurement-ready (full population, floodable to
+// completion at the paper's degrees) and deterministic given the seed.
+func TestStationaryModelFacade(t *testing.T) {
+	for _, kind := range churnnet.ModelKinds() {
+		m := churnnet.NewStationaryModel(kind, 500, 21, 1)
+		if m.Kind() != kind {
+			t.Fatalf("kind %v", m.Kind())
+		}
+		alive := m.Graph().NumAlive()
+		if alive < 400 || alive > 600 {
+			t.Fatalf("%v: population %d far from n=500", kind, alive)
+		}
+	}
+	m := churnnet.NewStationaryModel(churnnet.SDGR, 500, 21, 1)
+	res := churnnet.Flood(m, churnnet.FloodOptions{})
+	if !res.Completed || res.CompletionRound > 30 {
+		t.Fatalf("SDGR flooding from sampled snapshot: %+v", res)
+	}
+	again := churnnet.Flood(churnnet.NewStationaryModel(churnnet.SDGR, 500, 21, 1),
+		churnnet.FloodOptions{})
+	if res.CompletionRound != again.CompletionRound || res.EverInformed != again.EverInformed {
+		t.Fatal("NewStationaryModel is not deterministic given the seed")
+	}
+}
+
 func TestModelKinds(t *testing.T) {
 	kinds := churnnet.ModelKinds()
 	if len(kinds) != 4 {

@@ -1,19 +1,30 @@
-// Command benchjson times the incremental cut-set flooding engine
-// (flood.Run) against the full-rescan reference (flood.RunReference) on
-// identically seeded warmed models and writes the measurements as JSON —
-// the machine-readable perf record that CI uploads as the BENCH_flood.json
-// artifact and that EXPERIMENTS.md quotes for the large-n runs.
+// Command benchjson writes machine-readable perf records as JSON — the
+// artifacts CI uploads and EXPERIMENTS.md quotes for the large-n runs. It
+// carries two benchmarks, selected by -bench:
 //
-// Every case builds two models from the same seed (their churn streams are
-// identical; flooding consumes no randomness), floods one with each
-// implementation, verifies the Results are bit-for-bit equal, and reports
-// wall times and the speedup. Reference timing can be skipped above a size
-// cutoff so the n=10⁶ record stays obtainable in one sitting.
+//   - flood (default): the incremental cut-set flooding engine (flood.Run)
+//     against the full-rescan reference (flood.RunReference) on identically
+//     seeded warmed models — the BENCH_flood.json record. Every case builds
+//     two models from the same seed (their churn streams are identical;
+//     flooding consumes no randomness), floods one with each
+//     implementation, verifies the Results are bit-for-bit equal, and
+//     reports wall times and the speedup. Reference timing can be skipped
+//     above a size cutoff so the n=10⁶ record stays obtainable in one
+//     sitting.
+//
+//   - warmup: simulated core.WarmUp (2n rounds / 7·n·ln n jump events)
+//     against direct stationary-snapshot sampling (core.SampleStationary)
+//     — the BENCH_warmup.json record behind the -fastwarmup flags. Each
+//     case times both constructions and records snapshot sanity numbers
+//     (population, mean live out-degree) so a speedup can never hide a
+//     wrong snapshot.
 //
 // Usage:
 //
-//	benchjson -out BENCH_flood.json                  # smoke scale (CI)
-//	benchjson -scale large -out BENCH_flood.json     # committed large-n record
+//	benchjson -out BENCH_flood.json                        # smoke scale (CI)
+//	benchjson -scale large -out BENCH_flood.json           # committed large-n record
+//	benchjson -bench warmup -out BENCH_warmup.json         # smoke scale (CI)
+//	benchjson -bench warmup -scale large -reps 1 -out BENCH_warmup.json
 package main
 
 import (
@@ -86,20 +97,35 @@ type output struct {
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_flood.json", "output path (- for stdout)")
-		scale   = flag.String("scale", "smoke", "smoke (CI, seconds) or large (the 100k/1M record)")
+		bench   = flag.String("bench", "flood", "flood (engine vs reference) or warmup (WarmUp vs SampleStationary)")
+		out     = flag.String("out", "", "output path (- for stdout; default BENCH_<bench>.json)")
+		scale   = flag.String("scale", "smoke", "smoke (CI, seconds) or large (the committed 10k..1M record)")
 		seed    = flag.Uint64("seed", 1, "deterministic seed")
 		reps    = flag.Int("reps", 3, "timed repetitions per implementation (min is reported)")
-		maxRefN = flag.Int("max-ref-n", 200000, "time the reference only for n <= this (0 = always)")
+		maxRefN = flag.Int("max-ref-n", 200000, "flood only: time the reference only for n <= this (0 = always)")
 	)
 	flag.Parse()
 	if *reps < 1 {
 		fmt.Fprintln(os.Stderr, "benchjson: -reps must be >= 1")
 		os.Exit(2)
 	}
+	if *out == "" {
+		*out = "BENCH_" + *bench + ".json"
+	}
+	switch *bench {
+	case "flood":
+		runFloodBench(*out, *scale, *seed, *reps, *maxRefN)
+	case "warmup":
+		runWarmupBench(*out, *scale, *seed, *reps)
+	default:
+		fmt.Fprintf(os.Stderr, "benchjson: unknown -bench %q (want flood or warmup)\n", *bench)
+		os.Exit(2)
+	}
+}
 
+func runFloodBench(out, scale string, seed uint64, reps, maxRefN int) {
 	var cases []benchCase
-	switch *scale {
+	switch scale {
 	case "smoke":
 		cases = []benchCase{
 			{kind: core.SDGR, n: 2000, d: 21, mode: flood.Discretized},
@@ -119,37 +145,41 @@ func main() {
 			{kind: core.SDGR, n: 1000000, d: 21, mode: flood.Discretized, window: 100},
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "benchjson: unknown -scale %q (want smoke or large)\n", *scale)
+		fmt.Fprintf(os.Stderr, "benchjson: unknown -scale %q (want smoke or large)\n", scale)
 		os.Exit(2)
 	}
 
 	o := output{
 		Benchmark: "flood: cut-set engine vs full-rescan reference",
-		Scale:     *scale,
+		Scale:     scale,
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		Generated: time.Now().UTC().Format(time.RFC3339),
 	}
 	for _, c := range cases {
-		o.Cases = append(o.Cases, runCase(c, *seed, *reps, *maxRefN))
+		o.Cases = append(o.Cases, runCase(c, seed, reps, maxRefN))
 	}
+	writeJSON(out, o, len(o.Cases))
+}
 
-	data, err := json.MarshalIndent(o, "", "  ")
+// writeJSON marshals any record to the output path (or stdout for "-").
+func writeJSON(out string, v any, cases int) {
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 	data = append(data, '\n')
-	if *out == "-" {
+	if out == "-" {
 		os.Stdout.Write(data)
 		return
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := os.WriteFile(out, data, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %d cases to %s\n", len(o.Cases), *out)
+	fmt.Printf("wrote %d cases to %s\n", cases, out)
 }
 
 // runCase measures one configuration. Each timed repetition floods a
@@ -226,4 +256,139 @@ func warm(kind core.Kind, n, d int, seed uint64) core.Model {
 	m := core.New(kind, n, d, rng.New(seed))
 	core.WarmUp(m)
 	return m
+}
+
+// --- the warm-up benchmark (-bench warmup) ---
+
+type warmupCase struct {
+	kind core.Kind
+	n, d int
+}
+
+type warmupResult struct {
+	Model string `json:"model"`
+	N     int    `json:"n"`
+	D     int    `json:"d"`
+	Seed  uint64 `json:"seed"`
+	// Reps is the -reps flag: the warm-up side's repetition count.
+	// SampleReps records the sampling side's actual count — sampling is
+	// cheap, so it always gets at least three repetitions even when the
+	// minutes-per-rep simulated side runs once. Both columns report the
+	// minimum over their own repetitions.
+	Reps       int `json:"reps"`
+	SampleReps int `json:"sample_reps"`
+
+	WarmUpNs int64   `json:"warmup_ns"`
+	SampleNs int64   `json:"sample_ns"`
+	Speedup  float64 `json:"speedup"`
+
+	// Snapshot sanity from the first repetition: a speedup only counts if
+	// the sampled snapshot looks like the warmed one.
+	WarmAlive          int     `json:"warm_alive"`
+	SampledAlive       int     `json:"sampled_alive"`
+	WarmLiveOutMean    float64 `json:"warm_live_out_mean"`
+	SampledLiveOutMean float64 `json:"sampled_live_out_mean"`
+}
+
+type warmupOutput struct {
+	Benchmark string         `json:"benchmark"`
+	Scale     string         `json:"scale"`
+	GoVersion string         `json:"go_version"`
+	GOOS      string         `json:"goos"`
+	GOARCH    string         `json:"goarch"`
+	Generated string         `json:"generated"`
+	Cases     []warmupResult `json:"cases"`
+}
+
+func runWarmupBench(out, scale string, seed uint64, reps int) {
+	var cases []warmupCase
+	switch scale {
+	case "smoke":
+		cases = []warmupCase{
+			{kind: core.SDG, n: 2000, d: 21},
+			{kind: core.SDGR, n: 2000, d: 21},
+			{kind: core.PDG, n: 2000, d: 35},
+			{kind: core.PDGR, n: 2000, d: 35},
+			{kind: core.SDGR, n: 10000, d: 21},
+			{kind: core.PDGR, n: 10000, d: 35},
+		}
+	case "large":
+		cases = []warmupCase{
+			{kind: core.SDGR, n: 10000, d: 21},
+			{kind: core.SDGR, n: 100000, d: 21},
+			{kind: core.SDGR, n: 1000000, d: 21},
+			{kind: core.PDGR, n: 10000, d: 35},
+			{kind: core.PDGR, n: 100000, d: 35},
+			{kind: core.PDGR, n: 1000000, d: 35},
+			{kind: core.SDG, n: 1000000, d: 21},
+			{kind: core.PDG, n: 1000000, d: 35},
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "benchjson: unknown -scale %q (want smoke or large)\n", scale)
+		os.Exit(2)
+	}
+
+	o := warmupOutput{
+		Benchmark: "warmup: simulated WarmUp vs direct stationary sampling",
+		Scale:     scale,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, c := range cases {
+		o.Cases = append(o.Cases, runWarmupCase(c, seed, reps))
+	}
+	writeJSON(out, o, len(o.Cases))
+}
+
+// runWarmupCase times both constructions; the minimum over repetitions is
+// reported, and the fastest repetition's snapshots provide the sanity
+// numbers. The two sides are timed in separate phases with a forced
+// collection between models, so neither construction pays the other's
+// multi-hundred-MB live heap in GC pressure. Sampling is cheap enough that
+// it always gets at least three repetitions, even when the expensive
+// simulated side (minutes per repetition at n = 10⁶) runs with -reps 1.
+func runWarmupCase(c warmupCase, seed uint64, reps int) warmupResult {
+	fmt.Fprintf(os.Stderr, "benchjson: warmup %s n=%d d=%d...\n", c.kind, c.n, c.d)
+	wr := warmupResult{Model: c.kind.String(), N: c.n, D: c.d, Seed: seed, Reps: reps}
+
+	for rep := 0; rep < reps; rep++ {
+		runtime.GC()
+		t0 := time.Now()
+		m := warm(c.kind, c.n, c.d, seed+uint64(rep))
+		warmNs := int64(time.Since(t0))
+		if rep == 0 || warmNs < wr.WarmUpNs {
+			wr.WarmUpNs = warmNs
+			wr.WarmAlive = m.Graph().NumAlive()
+			wr.WarmLiveOutMean = meanLiveOut(m)
+		}
+	}
+
+	sampleReps := reps
+	if sampleReps < 3 {
+		sampleReps = 3
+	}
+	wr.SampleReps = sampleReps
+	for rep := 0; rep < sampleReps; rep++ {
+		runtime.GC()
+		t0 := time.Now()
+		m := core.SampleStationary(c.kind, c.n, c.d, rng.New(seed+uint64(rep)))
+		sampNs := int64(time.Since(t0))
+		if rep == 0 || sampNs < wr.SampleNs {
+			wr.SampleNs = sampNs
+			wr.SampledAlive = m.Graph().NumAlive()
+			wr.SampledLiveOutMean = meanLiveOut(m)
+		}
+	}
+	wr.Speedup = float64(wr.WarmUpNs) / float64(wr.SampleNs)
+	return wr
+}
+
+func meanLiveOut(m core.Model) float64 {
+	g := m.Graph()
+	if g.NumAlive() == 0 {
+		return 0
+	}
+	return float64(g.NumEdgesLive()) / float64(g.NumAlive())
 }

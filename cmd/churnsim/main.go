@@ -34,6 +34,7 @@ func main() {
 		traceFile = flag.String("trace", "", "write a per-round CSV time series to this file")
 		trials    = flag.Int("trials", 1, "independent replicas to build (seeds seed, seed+1, ...)")
 		par       = flag.Int("par", 0, "worker-pool size for -trials (0 = all cores)")
+		fastWarm  = flag.Bool("fastwarmup", false, "sample the stationary snapshot directly instead of simulating warm-up")
 	)
 	flag.Parse()
 
@@ -60,12 +61,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "churnsim: -expansion and -trace apply to single-model runs; drop them or use -trials 1")
 			os.Exit(2)
 		}
-		runTrials(kind, *n, *d, *rounds, *seed, *trials, *par)
+		runTrials(kind, *n, *d, *rounds, *seed, *trials, *par, *fastWarm)
 		return
 	}
 
 	fmt.Printf("building %s with n=%d, d=%d (seed %d)...\n", kind, *n, *d, *seed)
-	m := churnnet.NewWarmModel(kind, *n, *d, *seed)
+	m := churnnet.NewReadyModel(kind, *n, *d, *seed, *fastWarm)
 	if *traceFile != "" {
 		rec := churnnet.NewTraceRecorder()
 		rec.Run(m, *rounds)
@@ -125,7 +126,7 @@ func main() {
 
 // runTrials builds `trials` independently seeded replicas on the worker
 // pool and prints per-replica and aggregate snapshot statistics.
-func runTrials(kind churnnet.ModelKind, n, d, rounds int, seed uint64, trials, par int) {
+func runTrials(kind churnnet.ModelKind, n, d, rounds int, seed uint64, trials, par int, fastWarm bool) {
 	fmt.Printf("building %d × %s with n=%d, d=%d (seeds %d..%d, parallelism %d)...\n",
 		trials, kind, n, d, seed, seed+uint64(trials)-1, par)
 
@@ -134,7 +135,7 @@ func runTrials(kind churnnet.ModelKind, n, d, rounds int, seed uint64, trials, p
 		meanDeg              float64
 	}
 	snaps := runner.MapIndexed(runner.Config{Workers: par}, trials, func(i int) snapshot {
-		m := churnnet.NewWarmModel(kind, n, d, seed+uint64(i))
+		m := churnnet.NewReadyModel(kind, n, d, seed+uint64(i), fastWarm)
 		for r := 0; r < rounds; r++ {
 			m.AdvanceRound()
 		}

@@ -27,6 +27,7 @@ func main() {
 		maxRounds = flag.Int("max-rounds", 0, "round cap (0 = default)")
 		async     = flag.Bool("async", false, "asynchronous semantics (Definition 4.2)")
 		traj      = flag.Bool("trajectory", false, "print per-round informed counts of trial 0")
+		fastWarm  = flag.Bool("fastwarmup", false, "sample the stationary snapshot directly instead of simulating warm-up")
 	)
 	flag.Parse()
 
@@ -55,7 +56,7 @@ func main() {
 	completed := 0
 	var rounds, fractions []float64
 	for trial := 0; trial < *trials; trial++ {
-		m := churnnet.NewWarmModel(kind, *n, *d, *seed+uint64(trial))
+		m := churnnet.NewReadyModel(kind, *n, *d, *seed+uint64(trial), *fastWarm)
 		res := churnnet.Flood(m, churnnet.FloodOptions{
 			Mode:           mode,
 			MaxRounds:      *maxRounds,

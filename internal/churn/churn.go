@@ -107,6 +107,17 @@ func (s *Streaming) Tick() (dies bool) {
 	return s.round > s.n
 }
 
+// FastForward advances the clock by k rounds without reporting the
+// intermediate deaths — the O(1) companion of k Tick calls for callers that
+// reconstruct the node population some other way (the stationary-snapshot
+// sampler of package core). It panics if k < 0.
+func (s *Streaming) FastForward(k int) {
+	if k < 0 {
+		panic("churn: FastForward requires k >= 0")
+	}
+	s.round += k
+}
+
 // Population simulates Poisson churn over an anonymous node set: it tracks,
 // per alive node, only the jump-chain round at which it was born. It is the
 // measurement substrate for the pure-churn lemmas.

@@ -98,6 +98,33 @@ func TestStreamingTick(t *testing.T) {
 	}
 }
 
+// TestStreamingFastForward checks that FastForward(k) lands the clock in
+// the same state as k Ticks, and that k = 0 is a no-op.
+func TestStreamingFastForward(t *testing.T) {
+	a, b := NewStreaming(5), NewStreaming(5)
+	for i := 0; i < 12; i++ {
+		a.Tick()
+	}
+	b.FastForward(12)
+	if a.Round() != b.Round() {
+		t.Fatalf("FastForward(12) round = %d, Tick×12 round = %d", b.Round(), a.Round())
+	}
+	b.FastForward(0)
+	if b.Round() != 12 {
+		t.Fatalf("FastForward(0) moved the clock to %d", b.Round())
+	}
+	// The next Tick after a fast-forward past n must report a death.
+	if !b.Tick() {
+		t.Fatal("no death after fast-forward into steady state")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FastForward(-1) did not panic")
+		}
+	}()
+	b.FastForward(-1)
+}
+
 func TestNewStreamingPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -463,15 +463,22 @@ func New(kind Kind, n, d int, r *rng.RNG) Model {
 	}
 }
 
-// WarmUp brings any model to its measurement-ready state: 2n rounds for
-// streaming models, 7·n·ln n jump rounds for Poisson models.
+// WarmUpper is implemented by models that must simulate a transient before
+// measurements are representative. The core models implement it (2n rounds
+// for streaming, 7·n·ln n jump rounds for Poisson — the paper's horizons),
+// and so does the address-gossip overlay.
+type WarmUpper interface {
+	// WarmUp advances the model to its measurement-ready state.
+	WarmUp()
+}
+
+// WarmUp brings any model to its measurement-ready state via its WarmUpper
+// implementation. Models without one — static wrappers, custom Model
+// implementations whose initial state is already representative — are left
+// untouched: WarmUp is deliberately a no-op for them, not a panic, so
+// generic harness code can warm whatever Model it is handed.
 func WarmUp(m Model) {
-	switch mm := m.(type) {
-	case *Streaming:
-		mm.WarmUp()
-	case *Poisson:
-		mm.WarmUp()
-	default:
-		panic("core: WarmUp of unknown model type")
+	if w, ok := m.(WarmUpper); ok {
+		w.WarmUp()
 	}
 }

@@ -1,0 +1,523 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/dyngraph/churnnet/internal/dist"
+	"github.com/dyngraph/churnnet/internal/graph"
+	"github.com/dyngraph/churnnet/internal/rng"
+	"github.com/dyngraph/churnnet/internal/stats"
+)
+
+// ---------------------------------------------------------------------------
+// The distributional-equivalence harness.
+//
+// SampleStationary's contract is statistical, not trajectory-exact: a
+// sampled snapshot must be indistinguishable in distribution from a warmed
+// one. The harness pools snapshots from both constructions over fixed seeds
+// and compares four observables — age profile (two-sample KS), live
+// in-degree distribution (two-sample chi-square), alive-population size and
+// live-out-degree mean (z-scores) — and the negative controls prove every
+// one of those tests can fail on a wrong sampler. All seeds are fixed, so
+// each assertion is deterministic.
+// ---------------------------------------------------------------------------
+
+// snapshotPool accumulates the observables of several independent
+// measurement-ready snapshots.
+type snapshotPool struct {
+	aliveCounts []float64
+	ages        []float64
+	inDeg       []int     // per alive node, pooled over snapshots
+	liveOut     []float64 // per alive node, pooled over snapshots
+}
+
+func (p *snapshotPool) add(m Model) {
+	g := m.Graph()
+	p.aliveCounts = append(p.aliveCounts, float64(g.NumAlive()))
+	now := m.Now()
+	g.ForEachAlive(func(h graph.Handle) bool {
+		p.ages = append(p.ages, now-g.BirthTime(h))
+		p.inDeg = append(p.inDeg, g.InDegreeLive(h))
+		p.liveOut = append(p.liveOut, float64(g.OutDegreeLive(h)))
+		return true
+	})
+}
+
+// pool builds `trials` independent snapshots with consecutive seeds.
+func pool(trials int, seed uint64, build func(r *rng.RNG) Model) *snapshotPool {
+	p := &snapshotPool{}
+	for i := 0; i < trials; i++ {
+		p.add(build(rng.New(seed + uint64(i))))
+	}
+	return p
+}
+
+// equivalenceReport holds every statistic the harness compares.
+type equivalenceReport struct {
+	ksD, ksP float64 // age profile, two-sample KS
+	chiStat  float64 // in-degree histogram, two-sample chi-square
+	chiDF    int
+	chiP     float64
+	aliveZ   float64 // alive-population mean difference in joint stderr units
+	liveOutZ float64 // live-out-degree mean difference in joint stderr units
+	aliveA   float64
+	aliveB   float64
+	liveOutA float64
+	liveOutB float64
+}
+
+func (r equivalenceReport) String() string {
+	return fmt.Sprintf("KS D=%.4f p=%.3g | chi2=%.1f df=%d p=%.3g | alive %.1f vs %.1f (z=%.2f) | liveout %.3f vs %.3f (z=%.2f)",
+		r.ksD, r.ksP, r.chiStat, r.chiDF, r.chiP, r.aliveA, r.aliveB, r.aliveZ, r.liveOutA, r.liveOutB, r.liveOutZ)
+}
+
+// compare runs all four tests between two pools.
+func compare(a, b *snapshotPool) equivalenceReport {
+	var rep equivalenceReport
+	rep.ksD, rep.ksP = stats.KolmogorovSmirnov(a.ages, b.ages)
+	ha, hb := degreeHists(a.inDeg, b.inDeg)
+	rep.chiStat, rep.chiDF, rep.chiP = stats.ChiSquareTwoSample(ha, hb)
+	rep.aliveA, rep.aliveB, rep.aliveZ = meanZ(a.aliveCounts, b.aliveCounts)
+	rep.liveOutA, rep.liveOutB, rep.liveOutZ = meanZ(a.liveOut, b.liveOut)
+	return rep
+}
+
+// degreeHists bins both in-degree samples over shared cells, merging the
+// sparse upper tail so every kept cell has a pooled count of at least 10
+// (the usual chi-square validity rule).
+func degreeHists(a, b []int) (ha, hb []int) {
+	maxDeg := 0
+	for _, v := range append(append([]int{}, a...), b...) {
+		if v > maxDeg {
+			maxDeg = v
+		}
+	}
+	ha = make([]int, maxDeg+1)
+	hb = make([]int, maxDeg+1)
+	for _, v := range a {
+		ha[v]++
+	}
+	for _, v := range b {
+		hb[v]++
+	}
+	// Merge cells from the top until the tail cell is dense enough.
+	for len(ha) > 2 && ha[len(ha)-1]+hb[len(hb)-1] < 10 {
+		ha[len(ha)-2] += ha[len(ha)-1]
+		hb[len(hb)-2] += hb[len(hb)-1]
+		ha = ha[:len(ha)-1]
+		hb = hb[:len(hb)-1]
+	}
+	return ha, hb
+}
+
+// meanZ returns both sample means and their difference in units of the
+// combined standard error (Welch z).
+func meanZ(a, b []float64) (ma, mb, z float64) {
+	var accA, accB stats.Accumulator
+	accA.AddN(a...)
+	accB.AddN(b...)
+	ma, mb = accA.Mean(), accB.Mean()
+	se := math.Sqrt(accA.StdErr()*accA.StdErr() + accB.StdErr()*accB.StdErr())
+	if se == 0 {
+		if ma == mb {
+			return ma, mb, 0
+		}
+		return ma, mb, math.Inf(1)
+	}
+	return ma, mb, (ma - mb) / se
+}
+
+// TestSampleStationaryMatchesWarmUp is the distributional-equivalence
+// suite: for every model at n ∈ {300, 1000}, snapshots built by
+// SampleStationary must be statistically indistinguishable from snapshots
+// built by WarmUp. Thresholds are generous (p > 10⁻³, |z| < 5) and seeds
+// are fixed, so the suite is deterministic; the realized statistics sit far
+// inside the thresholds (logged with -v). The negative-control test below
+// proves the same harness rejects wrong samplers by orders of magnitude.
+func TestSampleStationaryMatchesWarmUp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributional suite needs full trial counts")
+	}
+	for _, kind := range Kinds() {
+		for _, n := range []int{300, 1000} {
+			kind, n := kind, n
+			t.Run(fmt.Sprintf("%s-n%d", kind, n), func(t *testing.T) {
+				t.Parallel()
+				d := 7
+				trials := 20
+				warmed := pool(trials, 0xA0, func(r *rng.RNG) Model {
+					m := New(kind, n, d, r)
+					WarmUp(m)
+					return m
+				})
+				sampled := pool(trials, 0xB0, func(r *rng.RNG) Model {
+					return SampleStationary(kind, n, d, r)
+				})
+				rep := compare(warmed, sampled)
+				t.Logf("%s n=%d: %v", kind, n, rep)
+
+				if rep.ksP < 1e-3 {
+					t.Errorf("age profiles diverge: %v", rep)
+				}
+				if rep.chiP < 1e-3 {
+					t.Errorf("in-degree distributions diverge: %v", rep)
+				}
+				if math.Abs(rep.aliveZ) > 5 {
+					t.Errorf("alive-population means diverge: %v", rep)
+				}
+				if math.Abs(rep.liveOutZ) > 5 {
+					t.Errorf("live-out-degree means diverge: %v", rep)
+				}
+				if !kind.Poisson() {
+					// Streaming stationarity is deterministic in these
+					// observables: exactly n alive nodes with ages exactly
+					// {0, …, n−1}, so the KS distance must vanish.
+					if rep.ksD != 0 {
+						t.Errorf("streaming age profile not exact: D=%v", rep.ksD)
+					}
+					for _, c := range append(warmed.aliveCounts, sampled.aliveCounts...) {
+						if c != float64(n) {
+							t.Fatalf("streaming population %v, want exactly %d", c, n)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// wrongStationaryPDGR is the deliberately wrong sampler of the negative
+// control: it draws the population size correctly but gives nodes uniform
+// ages on [0, 2n) instead of Exponential(1/n), and wires every request
+// uniformly over all other snapshot nodes, ignoring the destination law —
+// plausible-looking mistakes (mean age and mean degree are right) that the
+// harness must nevertheless reject.
+func wrongStationaryPDGR(n, d int, r *rng.RNG) Model {
+	m := NewPoisson(n, d, true, r)
+	pop := dist.Poisson(r, float64(n))
+	handles := make([]graph.Handle, pop)
+	m.time = 2 * float64(n)
+	for i := range handles {
+		handles[i] = m.g.AddNode(m.time * r.Float64())
+	}
+	if pop > 0 {
+		m.last = handles[pop-1]
+	}
+	for _, u := range handles {
+		for j := 0; j < d && pop > 1; j++ {
+			v := handles[r.Intn(pop)]
+			for v == u {
+				v = handles[r.Intn(pop)]
+			}
+			m.g.AddOutEdge(u, v)
+		}
+	}
+	return m
+}
+
+// TestEquivalenceHarnessNegativeControl proves the harness has power: a
+// wrong Poisson sampler fails the age-profile KS and in-degree chi-square
+// tests by many orders of magnitude, and an SDG sampler mislabeled as SDGR
+// (exactly the "forgot to regenerate" bug) fails the live-out-degree and
+// in-degree tests. Without this test a broken harness that always passes
+// would silently validate any sampler.
+func TestEquivalenceHarnessNegativeControl(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributional suite needs full trial counts")
+	}
+	n, d, trials := 1000, 7, 20
+
+	t.Run("wrong-ages-and-destinations", func(t *testing.T) {
+		t.Parallel()
+		warmed := pool(trials, 0xA0, func(r *rng.RNG) Model {
+			m := New(PDGR, n, d, r)
+			WarmUp(m)
+			return m
+		})
+		wrong := pool(trials, 0xB0, func(r *rng.RNG) Model {
+			return wrongStationaryPDGR(n, d, r)
+		})
+		rep := compare(warmed, wrong)
+		t.Logf("negative control (uniform ages/destinations): %v", rep)
+		if rep.ksP > 1e-6 {
+			t.Errorf("KS failed to reject uniform ages: %v", rep)
+		}
+		if rep.chiP > 1e-6 {
+			t.Errorf("chi-square failed to reject uniform destinations: %v", rep)
+		}
+	})
+
+	t.Run("missing-regeneration", func(t *testing.T) {
+		t.Parallel()
+		warmed := pool(trials, 0xA0, func(r *rng.RNG) Model {
+			m := New(SDGR, n, d, r)
+			WarmUp(m)
+			return m
+		})
+		wrong := pool(trials, 0xB0, func(r *rng.RNG) Model {
+			return SampleStationary(SDG, n, d, r) // drops what SDGR would re-point
+		})
+		rep := compare(warmed, wrong)
+		t.Logf("negative control (missing regeneration): %v", rep)
+		if math.Abs(rep.liveOutZ) < 20 {
+			t.Errorf("live-out-degree test failed to reject the no-regen law: %v", rep)
+		}
+		if rep.chiP > 1e-6 {
+			t.Errorf("chi-square failed to reject the no-regen in-degree law: %v", rep)
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Structural and contract tests of the samplers themselves.
+// ---------------------------------------------------------------------------
+
+// TestSampleStationaryInvariants checks arena/edge consistency and the
+// model-facing basics of sampled snapshots across kinds and corner sizes.
+func TestSampleStationaryInvariants(t *testing.T) {
+	for _, kind := range Kinds() {
+		for _, n := range []int{1, 2, 3, 50, 400} {
+			m := SampleStationary(kind, n, 5, rng.New(uint64(n)))
+			g := m.Graph()
+			if err := g.CheckInvariants(); err != nil {
+				t.Fatalf("%v n=%d: %v", kind, n, err)
+			}
+			if m.Kind() != kind || m.N() != n || m.D() != 5 {
+				t.Fatalf("%v n=%d: metadata mismatch", kind, n)
+			}
+			if g.NumAlive() > 0 {
+				if !g.IsAlive(m.LastBorn()) {
+					t.Fatalf("%v n=%d: LastBorn not alive", kind, n)
+				}
+				if got := g.Newest(); got != m.LastBorn() {
+					t.Fatalf("%v n=%d: LastBorn %v is not the newest node %v", kind, n, m.LastBorn(), got)
+				}
+			}
+			if !kind.Poisson() && g.NumAlive() != n {
+				t.Fatalf("%v n=%d: streaming population %d", kind, n, g.NumAlive())
+			}
+			if kind.Regen() && n >= 3 {
+				// With regeneration every request stays live (n >= 3 avoids
+				// the two-node drop corner).
+				g.ForEachAlive(func(h graph.Handle) bool {
+					if got := g.OutDegreeLive(h); got != 5 {
+						t.Fatalf("%v n=%d: live out-degree %d, want 5", kind, n, got)
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// TestSampleStationaryEvolves pins the post-sampling contract: a sampled
+// model must keep evolving exactly like a warmed one — the streaming ring
+// and clock must agree (the node born n rounds ago dies each round), and
+// the Poisson jump chain must continue from the sampled state — with graph
+// invariants intact throughout.
+func TestSampleStationaryEvolves(t *testing.T) {
+	for _, kind := range Kinds() {
+		n := 120
+		m := SampleStationary(kind, n, 4, rng.New(9))
+		births, deaths := 0, 0
+		m.SetHooks(Hooks{
+			OnBirth: func(graph.Handle) { births++ },
+			OnDeath: func(graph.Handle) { deaths++ },
+		})
+		for i := 0; i < 2*n; i++ {
+			m.AdvanceRound()
+		}
+		if err := m.Graph().CheckInvariants(); err != nil {
+			t.Fatalf("%v: after evolution: %v", kind, err)
+		}
+		if !kind.Poisson() {
+			if got := m.Graph().NumAlive(); got != n {
+				t.Fatalf("%v: population %d after evolution, want %d", kind, got, n)
+			}
+			if births != 2*n || deaths != 2*n {
+				t.Fatalf("%v: %d births / %d deaths over %d rounds, want %d each",
+					kind, births, deaths, 2*n, 2*n)
+			}
+		} else {
+			if births == 0 || deaths == 0 {
+				t.Fatalf("%v: jump chain did not continue (births=%d deaths=%d)", kind, births, deaths)
+			}
+			got := m.Graph().NumAlive()
+			if got < n/2 || got > 2*n {
+				t.Fatalf("%v: population %d drifted far from n=%d", kind, got, n)
+			}
+		}
+	}
+}
+
+// TestSampleStationaryDeterministic pins seed determinism: two samplers
+// with equal seeds build identical snapshots (checked edge by edge).
+func TestSampleStationaryDeterministic(t *testing.T) {
+	for _, kind := range Kinds() {
+		a := SampleStationary(kind, 200, 6, rng.New(7))
+		b := SampleStationary(kind, 200, 6, rng.New(7))
+		ga, gb := a.Graph(), b.Graph()
+		if ga.NumAlive() != gb.NumAlive() || ga.NumEdgesLive() != gb.NumEdgesLive() {
+			t.Fatalf("%v: snapshot shapes differ", kind)
+		}
+		if a.Now() != b.Now() || a.LastBorn() != b.LastBorn() {
+			t.Fatalf("%v: clock or last-born differ", kind)
+		}
+		ga.ForEachAlive(func(h graph.Handle) bool {
+			if ga.BirthTime(h) != gb.BirthTime(h) {
+				t.Fatalf("%v: birth time of %v differs", kind, h)
+			}
+			var ta, tb []graph.Handle
+			ga.OutTargets(h, func(x graph.Handle) bool { ta = append(ta, x); return true })
+			gb.OutTargets(h, func(x graph.Handle) bool { tb = append(tb, x); return true })
+			if len(ta) != len(tb) {
+				t.Fatalf("%v: out-degree of %v differs", kind, h)
+			}
+			for i := range ta {
+				if ta[i] != tb[i] {
+					t.Fatalf("%v: out-edge %d of %v differs", kind, i, h)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// TestSampleStationaryFiresHooks checks that hooks installed before
+// sampling observe the construction: one OnBirth per node, one OnEdge per
+// materialized request, with both endpoints alive at every OnEdge.
+func TestSampleStationaryFiresHooks(t *testing.T) {
+	for _, kind := range Kinds() {
+		var m Model
+		births, edges := 0, 0
+		hooks := Hooks{
+			OnBirth: func(h graph.Handle) { births++ },
+			OnEdge: func(u, v graph.Handle) {
+				edges++
+				if !m.Graph().IsAlive(u) || !m.Graph().IsAlive(v) {
+					t.Fatalf("%v: OnEdge with dead endpoint", kind)
+				}
+			},
+		}
+		switch kind {
+		case SDG, SDGR:
+			sm := NewStreaming(300, 5, kind.Regen(), rng.New(3))
+			m = sm
+			sm.SetHooks(hooks)
+			sm.SampleStationary()
+		case PDG, PDGR:
+			pm := NewPoisson(300, 5, kind.Regen(), rng.New(3))
+			m = pm
+			pm.SetHooks(hooks)
+			pm.SampleStationary()
+		}
+		if births != m.Graph().NumAlive() {
+			t.Fatalf("%v: %d OnBirth events for %d nodes", kind, births, m.Graph().NumAlive())
+		}
+		if edges != m.Graph().NumEdgesLive() {
+			t.Fatalf("%v: %d OnEdge events for %d live edges", kind, edges, m.Graph().NumEdgesLive())
+		}
+	}
+}
+
+// TestSampleStationaryPanics pins the guard rails: reuse of a non-fresh
+// model, unknown kinds, and bounded-degree policies are loud errors.
+func TestSampleStationaryPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("advanced streaming model", func() {
+		m := NewStreaming(10, 2, true, rng.New(1))
+		m.Step()
+		m.SampleStationary()
+	})
+	expectPanic("advanced poisson model", func() {
+		m := NewPoisson(10, 2, true, rng.New(1))
+		m.StepEvent()
+		m.SampleStationary()
+	})
+	expectPanic("sampled twice", func() {
+		m := NewPoisson(10, 2, true, rng.New(1))
+		m.SampleStationary()
+		m.SampleStationary()
+	})
+	expectPanic("unknown kind", func() {
+		SampleStationary(Static, 10, 2, rng.New(1))
+	})
+	expectPanic("degree policy", func() {
+		m := NewPoissonVariant(10, 2, true, DegreePolicy{InCap: 4}, rng.New(1))
+		m.SampleStationary()
+	})
+}
+
+// TestNewReadyModel checks the FastWarmUp dispatch point both ways.
+func TestNewReadyModel(t *testing.T) {
+	warm := NewReadyModel(SDGR, 50, 3, rng.New(2), false)
+	fast := NewReadyModel(SDGR, 50, 3, rng.New(2), true)
+	if warm.Graph().NumAlive() != 50 || fast.Graph().NumAlive() != 50 {
+		t.Fatalf("populations: warm %d, fast %d, want 50",
+			warm.Graph().NumAlive(), fast.Graph().NumAlive())
+	}
+	if s, ok := warm.(*Streaming); !ok || s.Round() != 100 {
+		t.Fatalf("warm path did not run the 2n-round warm-up")
+	}
+	if s, ok := fast.(*Streaming); !ok || s.Round() != 100 {
+		t.Fatalf("fast path did not set the clock to the warmed round")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// WarmUp dispatch regression tests (the WarmUpper interface).
+// ---------------------------------------------------------------------------
+
+// plainModel is a minimal third-party Model with no warm-up notion.
+type plainModel struct{ Model }
+
+// warmCounter records WarmUp calls through the interface.
+type warmCounter struct {
+	Model
+	calls int
+}
+
+func (w *warmCounter) WarmUp() { w.calls++ }
+
+// TestWarmUpNonCoreModels pins the WarmUpper contract: WarmUp warms models
+// that implement the interface, and is a silent no-op — not a panic — for
+// models that don't (static baselines, wrapper types). The wrapper case is
+// the regression: wrapping a core model in a struct used to panic WarmUp
+// even though the wrapped model was perfectly usable.
+func TestWarmUpNonCoreModels(t *testing.T) {
+	static := NewStaticModel(graph.New(0, 0), 0)
+	WarmUp(static) // must not panic
+	if static.Now() != 0 {
+		t.Fatalf("static model advanced during WarmUp")
+	}
+
+	inner := New(SDGR, 40, 3, rng.New(5))
+	wrapped := plainModel{inner}
+	WarmUp(wrapped) // must not panic, must not advance
+	if inner.Graph().NumAlive() != 0 {
+		t.Fatalf("no-op WarmUp advanced the wrapped model")
+	}
+
+	wc := &warmCounter{Model: inner}
+	WarmUp(wc)
+	if wc.calls != 1 {
+		t.Fatalf("WarmUpper implementation called %d times, want 1", wc.calls)
+	}
+
+	// The core models still warm through the interface.
+	m := New(SDG, 30, 2, rng.New(6))
+	WarmUp(m)
+	if m.Graph().NumAlive() != 30 {
+		t.Fatalf("core model not warmed: population %d", m.Graph().NumAlive())
+	}
+}

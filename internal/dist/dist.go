@@ -29,6 +29,57 @@ func Exponential(r *rng.RNG, rate float64) float64 {
 	return -math.Log(r.Float64Open()) / rate
 }
 
+// Poisson samples Poisson(mean): the stationary population law of the
+// paper's M/M/∞ churn process (Lemma 4.4 approximates it; the exact
+// stationary distribution with λ = 1, µ = 1/n is Poisson(n)). Sampling is
+// exact at every mean: sequential inversion below the switch point, and
+// Hörmann's PTRS transformed rejection (W. Hörmann, "The transformed
+// rejection method for generating Poisson random variables", 1993) above
+// it, which draws O(1) uniforms regardless of the mean. It panics if mean
+// is negative.
+func Poisson(r *rng.RNG, mean float64) int {
+	if mean < 0 {
+		panic("dist: Poisson requires mean >= 0")
+	}
+	if mean == 0 {
+		return 0
+	}
+	if mean < 10 {
+		// Inversion by sequential search over the multiplicative form:
+		// count the uniforms whose running product stays above e^{-mean}.
+		limit := math.Exp(-mean)
+		k, p := 0, r.Float64Open()
+		for p > limit {
+			k++
+			p *= r.Float64Open()
+		}
+		return k
+	}
+	// PTRS: sample a transformed uniform pair, accept by a squeeze or the
+	// exact log-density comparison.
+	b := 0.931 + 2.53*math.Sqrt(mean)
+	a := -0.059 + 0.02483*b
+	invAlpha := 1.1239 + 1.1328/(b-3.4)
+	vr := 0.9277 - 3.6224/(b-2)
+	logMean := math.Log(mean)
+	for {
+		u := r.Float64() - 0.5
+		v := r.Float64Open()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + mean + 0.43)
+		if us >= 0.07 && v <= vr {
+			return int(k)
+		}
+		if k < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		lg, _ := math.Lgamma(k + 1)
+		if math.Log(v*invAlpha/(a/(us*us)+b)) <= k*logMean-mean-lg {
+			return int(k)
+		}
+	}
+}
+
 // Binomial samples Binomial(n, p): the number of successes in n independent
 // coins of bias p. Sampling is exact (no normal approximation); the
 // geometric skip method costs O(n·min(p, 1−p)) expected time, which is fast

@@ -110,6 +110,78 @@ func TestBinomialMoments(t *testing.T) {
 	}
 }
 
+func TestPoissonEdges(t *testing.T) {
+	r := rng.New(6)
+	if Poisson(r, 0) != 0 {
+		t.Fatal("mean 0 must be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative mean must panic")
+		}
+	}()
+	Poisson(r, -1)
+}
+
+// TestPoissonMoments checks mean and variance (both equal the mean for a
+// Poisson law) across the inversion (mean < 10) and PTRS (mean >= 10)
+// paths, including the large means the stationary-snapshot sampler uses.
+func TestPoissonMoments(t *testing.T) {
+	r := rng.New(7)
+	const trials = 60000
+	for _, mean := range []float64{0.3, 2, 9.5, 10, 35, 400, 100000} {
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < trials; i++ {
+			k := float64(Poisson(r, mean))
+			if k < 0 {
+				t.Fatalf("Poisson(%v) negative", mean)
+			}
+			sum += k
+			sumSq += k * k
+		}
+		m := sum / trials
+		variance := sumSq/trials - m*m
+		if math.Abs(m-mean) > 4*math.Sqrt(mean/trials)+1e-9 {
+			t.Errorf("Poisson(%v): mean %.4f", mean, m)
+		}
+		if math.Abs(variance-mean)/mean > 0.1 {
+			t.Errorf("Poisson(%v): variance %.4f", mean, variance)
+		}
+	}
+}
+
+// TestPoissonPMF checks the exact probability masses of the small-mean
+// inversion path against e^{−λ}λ^k/k!.
+func TestPoissonPMF(t *testing.T) {
+	r := rng.New(8)
+	const trials = 400000
+	const mean = 3.0
+	counts := make([]int, 12)
+	for i := 0; i < trials; i++ {
+		k := Poisson(r, mean)
+		if k < len(counts) {
+			counts[k]++
+		}
+	}
+	pk := math.Exp(-mean)
+	for k := 0; k < len(counts); k++ {
+		got := float64(counts[k]) / trials
+		if math.Abs(got-pk) > 4*math.Sqrt(pk/trials)+1e-4 {
+			t.Errorf("P(X=%d) = %.5f, want %.5f", k, got, pk)
+		}
+		pk *= mean / float64(k+1)
+	}
+}
+
+func TestPoissonDeterministic(t *testing.T) {
+	a, b := rng.New(10), rng.New(10)
+	for i := 0; i < 100; i++ {
+		if Poisson(a, 1000) != Poisson(b, 1000) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
 func TestBinomialDeterministic(t *testing.T) {
 	a, b := rng.New(9), rng.New(9)
 	for i := 0; i < 100; i++ {

@@ -73,7 +73,7 @@ func runLargeSetExpansion(cfg Config, kind core.Kind, bandDiv float64) *report.T
 	results := parMap(cfg, len(jobs), func(i int) trialResult {
 		j := jobs[i]
 		salt := uint64(uint8(kind))<<40 | uint64(j.n)<<10 | uint64(j.d)<<4 | uint64(j.trial)
-		m := warm(kind, j.n, j.d, cfg.rng(salt))
+		m := cfg.warm(kind, j.n, j.d, cfg.rng(salt))
 		g := m.Graph()
 		alive := g.NumAlive()
 		lo := int(math.Ceil(float64(j.n) * math.Exp(-float64(j.d)/bandDiv)))
@@ -139,7 +139,7 @@ func runRegenExpansion(cfg Config, kind core.Kind, ds []int) *report.Table {
 	results := parMap(cfg, len(jobs), func(i int) trialResult {
 		j := jobs[i]
 		salt := uint64(uint8(kind))<<40 | uint64(j.n)<<10 | uint64(j.d)<<4 | uint64(j.trial)
-		m := warm(kind, j.n, j.d, cfg.rng(salt))
+		m := cfg.warm(kind, j.n, j.d, cfg.rng(salt))
 		g := m.Graph()
 		var tr trialResult
 		p := expansion.Estimate(g, cfg.rng(salt^0xbbbb), expCfg(cfg))

@@ -93,6 +93,13 @@ type Config struct {
 	// order, which is scheduling-dependent; everything else is
 	// deterministic.
 	Progress func(done, total int)
+	// FastWarmUp builds measurement-ready models by direct stationary-
+	// snapshot sampling (core.SampleStationary, O(n·d)) instead of
+	// simulating the warm-up transient (2n rounds / 7·n·ln n jump events).
+	// Results remain deterministic given Seed but are a different — equally
+	// distributed — draw than the simulated warm-up produces, so the
+	// committed EXPERIMENTS.md record keeps the default (off).
+	FastWarmUp bool
 }
 
 // runnerCfg adapts the experiment knobs to the trial engine.
@@ -220,9 +227,8 @@ func RunAll(cfg Config) *report.Report {
 	return r
 }
 
-// warm builds and warms a model with a split RNG stream.
-func warm(kind core.Kind, n, d int, r *rng.RNG) core.Model {
-	m := core.New(kind, n, d, r)
-	core.WarmUp(m)
-	return m
+// warm builds a measurement-ready model with a split RNG stream: simulated
+// warm-up by default, direct stationary sampling under cfg.FastWarmUp.
+func (c Config) warm(kind core.Kind, n, d int, r *rng.RNG) core.Model {
+	return core.NewReadyModel(kind, n, d, r, c.FastWarmUp)
 }

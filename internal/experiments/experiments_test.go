@@ -97,6 +97,35 @@ func TestDeterminism(t *testing.T) {
 	}
 }
 
+// TestFastWarmUpExperiments runs warm-up-heavy experiments under the
+// FastWarmUp knob: tables must be well-formed and deterministic given the
+// seed, and the regen flooding experiment must still see its completions
+// (the end-to-end signal that sampled snapshots are measurement-ready).
+func TestFastWarmUpExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite smoke run skipped in -short mode")
+	}
+	fast := Config{Scale: Smoke, Seed: 7, FastWarmUp: true}
+	for _, id := range []string{"T1", "F10", "F12", "F13"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %s missing", id)
+		}
+		a := e.Run(fast)
+		if a == nil || len(a.Rows) == 0 {
+			t.Fatalf("%s: empty table under FastWarmUp", id)
+		}
+		if b := e.Run(fast); a.Markdown() != b.Markdown() {
+			t.Fatalf("%s: FastWarmUp run is not deterministic", id)
+		}
+	}
+	e, _ := ByID("F10")
+	tab := e.Run(fast)
+	if !strings.Contains(tab.Markdown(), "100.0%") {
+		t.Fatalf("F10 under FastWarmUp lost its completions:\n%s", tab.Markdown())
+	}
+}
+
 func TestScaleParsing(t *testing.T) {
 	for _, s := range []Scale{Smoke, Standard, Paper} {
 		got, err := ParseScale(s.String())

@@ -79,7 +79,7 @@ func runOverlayRealism(cfg Config) *report.Table {
 			o.WarmUp()
 			m = o
 		} else {
-			m = warm(core.PDGR, n, d, cfg.rng(salt))
+			m = cfg.warm(core.PDGR, n, d, cfg.rng(salt))
 		}
 		g := m.Graph()
 		ds := analysis.Degrees(g)
@@ -257,7 +257,7 @@ func runGiantComponent(cfg Config) *report.Table {
 	results := parMap(cfg, len(jobs), func(i int) trialResult {
 		j := jobs[i]
 		salt := uint64(uint8(j.kind))<<48 | uint64(j.dd)<<8 | uint64(j.trial)
-		m := warm(j.kind, n, j.dd, cfg.rng(salt))
+		m := cfg.warm(j.kind, n, j.dd, cfg.rng(salt))
 		cs := analysis.Components(m.Graph())
 		res := flood.Run(m, flood.Options{KeepTrajectory: true, RunToMax: true,
 			MaxRounds: flood.DefaultMaxRounds(n)})

@@ -88,7 +88,7 @@ func runFloodingFailure(cfg Config) *report.Table {
 	results := parMap(cfg, len(cells), func(i int) cellResult {
 		c := cells[i]
 		var cr cellResult
-		m := warm(c.kind, n, c.d, cfg.rng(uint64(uint8(c.kind))<<16|uint64(c.d)))
+		m := cfg.warm(c.kind, n, c.d, cfg.rng(uint64(uint8(c.kind))<<16|uint64(c.d)))
 		for trial := 0; trial < trials; trial++ {
 			for i := 0; i < 5; i++ { // decorrelate consecutive sources
 				m.AdvanceRound()
@@ -189,7 +189,7 @@ func runFloodingMost(cfg Config, kind core.Kind, expDiv float64) *report.Table {
 		j := jobs[i]
 		target := 1 - math.Exp(-float64(j.d)/expDiv)
 		salt := uint64(uint8(kind))<<36 | uint64(j.n)<<8 | uint64(j.d)<<3 | uint64(j.trial)
-		m := warm(kind, j.n, j.d, cfg.rng(salt))
+		m := cfg.warm(kind, j.n, j.d, cfg.rng(salt))
 		res := flood.Run(m, flood.Options{KeepTrajectory: true, RunToMax: true,
 			MaxRounds: flood.DefaultMaxRounds(j.n)})
 		return trialResult{final: res.PeakFraction, tau: roundsToFraction(res, target)}
@@ -261,7 +261,7 @@ func runFloodingLog(cfg Config, kind core.Kind, d int) *report.Table {
 	results := parMap(cfg, len(jobs), func(i int) trialResult {
 		j := jobs[i]
 		salt := uint64(uint8(kind))<<36 | uint64(j.n)<<8 | uint64(j.trial)
-		m := warm(kind, j.n, d, cfg.rng(salt))
+		m := cfg.warm(kind, j.n, d, cfg.rng(salt))
 		res := flood.Run(m, flood.Options{})
 		return trialResult{res.Completed, float64(res.CompletionRound)}
 	})
@@ -332,7 +332,7 @@ func runRegenAblation(cfg Config) *report.Table {
 	results := parMap(cfg, len(jobs), func(i int) trialResult {
 		j := jobs[i]
 		salt := uint64(uint8(j.kind))<<44 | uint64(j.d)<<6 | uint64(j.trial)
-		m := warm(j.kind, n, j.d, cfg.rng(salt))
+		m := cfg.warm(j.kind, n, j.d, cfg.rng(salt))
 		res := flood.Run(m, flood.Options{})
 		return trialResult{res.Completed, float64(res.CompletionRound),
 			math.Max(res.FinalFraction(), res.PeakFraction)}

@@ -53,7 +53,7 @@ func runTable1(cfg Config) *report.Table {
 	results := parMap(cfg, len(jobs), func(i int) trialResult {
 		j, trial := jobs[i], i%trials
 		salt := uint64(uint8(j.kind))<<24 | uint64(j.d)<<12 | uint64(trial)
-		m := warm(j.kind, n, j.d, cfg.rng(salt))
+		m := cfg.warm(j.kind, n, j.d, cfg.rng(salt))
 		g := m.Graph()
 		var tr trialResult
 		tr.isolated = analysis.IsolatedFraction(g)

@@ -49,7 +49,7 @@ func runIsolated(cfg Config, kind core.Kind, boundCoeff float64) *report.Table {
 	results := parMap(cfg, len(jobs), func(i int) trialResult {
 		j := jobs[i]
 		salt := uint64(uint8(kind))<<32 | uint64(j.n)<<8 | uint64(j.d)<<4 | uint64(j.trial)
-		m := warm(kind, j.n, j.d, cfg.rng(salt))
+		m := cfg.warm(kind, j.n, j.d, cfg.rng(salt))
 		snap := analysis.IsolatedFraction(m.Graph())
 		res := analysis.LifetimeIsolation(m, 20*j.n)
 		return trialResult{snap, float64(res.StayedIsolated) / float64(j.n)}

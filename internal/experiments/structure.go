@@ -62,7 +62,7 @@ func runDegrees(cfg Config) *report.Table {
 	}
 	results := parMap(cfg, len(jobs), func(i int) analysis.DegreeStats {
 		j := jobs[i]
-		m := warm(j.kind, j.n, d, cfg.rng(uint64(uint8(j.kind))<<20|uint64(j.n)<<3|uint64(j.trial)))
+		m := cfg.warm(j.kind, j.n, d, cfg.rng(uint64(uint8(j.kind))<<20|uint64(j.n)<<3|uint64(j.trial)))
 		return analysis.Degrees(m.Graph())
 	})
 
@@ -123,7 +123,7 @@ func runAgeBias(cfg Config) *report.Table {
 	type kindResult struct{ in, out []float64 }
 	results := parMap(cfg, len(kinds), func(i int) kindResult {
 		kind := kinds[i]
-		m := warm(kind, n, d, cfg.rng(uint64(uint8(kind))<<22|uint64(n)))
+		m := cfg.warm(kind, n, d, cfg.rng(uint64(uint8(kind))<<22|uint64(n)))
 		return kindResult{
 			in:  analysis.InDegreeByAgeQuantile(m.Graph(), buckets),
 			out: analysis.OutDegreeByAgeQuantile(m.Graph(), buckets),
@@ -149,7 +149,7 @@ func runDemographics(cfg Config) *report.Table {
 	t := e.newTable("slice (age/(n/2))", "count", "fraction", "geometric e^(−1/2) model")
 
 	n := cfg.pick(1000, 4000, 16000)
-	m := warm(core.PDGR, n, 20, cfg.rng(0xdead))
+	m := cfg.warm(core.PDGR, n, 20, cfg.rng(0xdead))
 	profile := analysis.AgeProfile(m.Graph(), m.Now(), float64(n)/2)
 
 	total := 0

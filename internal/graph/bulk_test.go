@@ -1,0 +1,177 @@
+package graph
+
+import (
+	"testing"
+
+	"github.com/dyngraph/churnnet/internal/rng"
+)
+
+// buildSpec draws a random edge spec over n fresh nodes: up to d targets
+// per owner, uniform among the other slots.
+func buildSpec(n, d int, r *rng.RNG) (starts []int32, targets []uint32) {
+	starts = make([]int32, n+1)
+	for s := 0; s < n; s++ {
+		deg := r.Intn(d + 1)
+		for j := 0; j < deg && n > 1; j++ {
+			t := r.Intn(n - 1)
+			if t >= s {
+				t++
+			}
+			targets = append(targets, uint32(t))
+		}
+		starts[s+1] = int32(len(targets))
+	}
+	return starts, targets
+}
+
+func freshNodes(n int) (*Graph, []Handle) {
+	g := New(n, 0)
+	hs := make([]Handle, n)
+	for i := range hs {
+		hs[i] = g.AddNode(float64(i))
+	}
+	return g, hs
+}
+
+// TestWireSnapshotEdgesMatchesAddOutEdge pins the bulk path against the
+// per-edge path: identical specs must produce graphs that agree on every
+// adjacency observable, including in-list order (InSources visits sources
+// in insertion order for both).
+func TestWireSnapshotEdgesMatchesAddOutEdge(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 17, 200, 20000} {
+		starts, targets := buildSpec(n, 5, rng.New(uint64(n)))
+
+		bulk, bh := freshNodes(n)
+		bulk.WireSnapshotEdges(starts, targets)
+
+		ref, rh := freshNodes(n)
+		for s := 0; s < n; s++ {
+			for _, tg := range targets[starts[s]:starts[s+1]] {
+				ref.AddOutEdge(rh[s], rh[tg])
+			}
+		}
+
+		if err := bulk.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: bulk invariants: %v", n, err)
+		}
+		for s := 0; s < n; s++ {
+			hb, hr := bh[s], rh[s]
+			if bulk.OutDegreeLive(hb) != ref.OutDegreeLive(hr) ||
+				bulk.InDegreeLive(hb) != ref.InDegreeLive(hr) ||
+				bulk.OutSlotCount(hb) != ref.OutSlotCount(hr) {
+				t.Fatalf("n=%d slot %d: degree mismatch", n, s)
+			}
+			var ob, or []uint32
+			bulk.OutTargets(hb, func(h Handle) bool { ob = append(ob, h.Slot); return true })
+			ref.OutTargets(hr, func(h Handle) bool { or = append(or, h.Slot); return true })
+			for i := range ob {
+				if ob[i] != or[i] {
+					t.Fatalf("n=%d slot %d: out target %d differs", n, s, i)
+				}
+			}
+			ob, or = ob[:0], or[:0]
+			bulk.InSources(hb, func(h Handle) bool { ob = append(ob, h.Slot); return true })
+			ref.InSources(hr, func(h Handle) bool { or = append(or, h.Slot); return true })
+			if len(ob) != len(or) {
+				t.Fatalf("n=%d slot %d: in-list length differs", n, s)
+			}
+			for i := range ob {
+				if ob[i] != or[i] {
+					t.Fatalf("n=%d slot %d: in source %d differs (order)", n, s, i)
+				}
+			}
+		}
+	}
+}
+
+// TestWireSnapshotEdgesThenMutate checks the arena stays safe under the
+// full mutation surface afterwards: redirects write in place, appends to a
+// capacity-clamped in-list must reallocate rather than spill into the next
+// node's segment, and removals regenerate cleanly.
+func TestWireSnapshotEdgesThenMutate(t *testing.T) {
+	n := 50
+	g, hs := freshNodes(n)
+	starts, targets := buildSpec(n, 4, rng.New(3))
+	g.WireSnapshotEdges(starts, targets)
+
+	// Grow node 0's in-list past its arena capacity: neighbors' lists must
+	// be unaffected (a spill would corrupt slot order in their segments).
+	before := make(map[int]int)
+	for s := 1; s < n; s++ {
+		before[s] = g.InDegreeLive(hs[s])
+	}
+	for i := 0; i < 8; i++ {
+		h := g.AddNode(100)
+		g.AddOutEdge(h, hs[0])
+	}
+	for s := 1; s < n; s++ {
+		if g.InDegreeLive(hs[s]) != before[s] {
+			t.Fatalf("slot %d in-degree changed after neighbor append", s)
+		}
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatalf("after appends: %v", err)
+	}
+
+	// Kill a node and redirect every orphaned request (rule 3) — the
+	// RemoveNode/RedirectOutEdge path over arena-backed lists.
+	victim := hs[7]
+	orphans := g.RemoveNode(victim, nil)
+	r := rng.New(9)
+	for _, e := range orphans {
+		tgt := g.RandomAliveExcept(r, e.Src)
+		g.RedirectOutEdge(e.Src, e.Slot, tgt)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatalf("after removal+redirect: %v", err)
+	}
+}
+
+// TestWireSnapshotEdgesPanics pins the guard rails.
+func TestWireSnapshotEdgesPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("bad starts length", func() {
+		g, _ := freshNodes(3)
+		g.WireSnapshotEdges(make([]int32, 3), nil)
+	})
+	expectPanic("self target", func() {
+		g, _ := freshNodes(3)
+		g.WireSnapshotEdges([]int32{0, 1, 1, 1}, []uint32{0})
+	})
+	expectPanic("target out of range", func() {
+		g, _ := freshNodes(3)
+		g.WireSnapshotEdges([]int32{0, 1, 1, 1}, []uint32{9})
+	})
+	expectPanic("decreasing starts", func() {
+		g, _ := freshNodes(3)
+		g.WireSnapshotEdges([]int32{0, 1, 0, 1}, []uint32{1})
+	})
+	expectPanic("starts do not cover targets", func() {
+		g, _ := freshNodes(3)
+		g.WireSnapshotEdges([]int32{0, 1, 1, 1}, []uint32{1, 2})
+	})
+	expectPanic("existing edges", func() {
+		g, hs := freshNodes(3)
+		g.AddOutEdge(hs[0], hs[1])
+		g.WireSnapshotEdges([]int32{0, 0, 0, 0}, nil)
+	})
+	expectPanic("reused slot", func() {
+		g, hs := freshNodes(3)
+		g.RemoveNode(hs[1], nil)
+		g.AddNode(5) // reuses the slot at generation 2
+		g.WireSnapshotEdges([]int32{0, 0, 0, 0}, nil)
+	})
+	expectPanic("dead slot", func() {
+		g, hs := freshNodes(3)
+		g.RemoveNode(hs[2], nil)
+		g.WireSnapshotEdges([]int32{0, 0, 0, 0}, nil)
+	})
+}

@@ -24,6 +24,17 @@ func TestNewPanics(t *testing.T) {
 	New(Config{N: 0, D: 3}, rng.New(1))
 }
 
+// TestCoreWarmUpWarmsOverlay pins the WarmUpper dispatch: core.WarmUp used
+// to panic on any non-core Model; it must now warm the overlay through its
+// own WarmUp implementation.
+func TestCoreWarmUpWarmsOverlay(t *testing.T) {
+	o := New(testConfig(300, 6), rng.New(4))
+	core.WarmUp(o)
+	if size := o.Graph().NumAlive(); size < 200 || size > 400 {
+		t.Fatalf("core.WarmUp left population %d, want ≈300", size)
+	}
+}
+
 func TestPopulationReachesStationary(t *testing.T) {
 	o := New(testConfig(500, 8), rng.New(2))
 	o.WarmUp()

@@ -1,0 +1,222 @@
+// This file holds the goodness-of-fit machinery: the two-sample
+// Kolmogorov–Smirnov test and chi-square tests (one-sample against expected
+// counts, and two-sample on paired histograms). These back the
+// distributional-equivalence harness that pins core.SampleStationary
+// against the simulated warm-up: "sampled and warmed snapshots agree in
+// distribution" is stated — and falsified, for deliberately wrong samplers
+// — through these tests.
+
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KolmogorovSmirnov returns the two-sample KS statistic
+// D = sup |F_xs(v) − F_ys(v)| and its asymptotic p-value. The p-value uses
+// the Kolmogorov distribution at effective size n·m/(n+m) with the
+// Stephens small-sample correction, the two-sample analog of KSPValue.
+// It panics if either sample is empty.
+func KolmogorovSmirnov(xs, ys []float64) (d, p float64) {
+	n, m := len(xs), len(ys)
+	if n == 0 || m == 0 {
+		panic("stats: KolmogorovSmirnov of empty sample")
+	}
+	sx := make([]float64, n)
+	copy(sx, xs)
+	sort.Float64s(sx)
+	sy := make([]float64, m)
+	copy(sy, ys)
+	sort.Float64s(sy)
+
+	i, j := 0, 0
+	for i < n && j < m {
+		v := sx[i]
+		if sy[j] < v {
+			v = sy[j]
+		}
+		for i < n && sx[i] == v {
+			i++
+		}
+		for j < m && sy[j] == v {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(n) - float64(j)/float64(m))
+		if diff > d {
+			d = diff
+		}
+	}
+	ne := float64(n) * float64(m) / float64(n+m)
+	sqrtNe := math.Sqrt(ne)
+	return d, kolmogorovQ((sqrtNe + 0.12 + 0.11/sqrtNe) * d)
+}
+
+// kolmogorovQ evaluates the Kolmogorov distribution's upper tail
+// Q(λ) = 2 Σ (−1)^{k−1} e^{−2k²λ²}, clamped to [0, 1].
+func kolmogorovQ(lambda float64) float64 {
+	if lambda < 1e-8 {
+		return 1
+	}
+	sum := 0.0
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := 2 * sign * math.Exp(-2*float64(k*k)*lambda*lambda)
+		sum += term
+		sign = -sign
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+	}
+	if sum < 0 {
+		return 0
+	}
+	if sum > 1 {
+		return 1
+	}
+	return sum
+}
+
+// ChiSquare returns the goodness-of-fit statistic Σ (Oᵢ−Eᵢ)²/Eᵢ of observed
+// counts against expected counts, the degrees of freedom len−1 (the
+// expected distribution is taken as fully specified), and the upper-tail
+// p-value. It panics on a length mismatch, fewer than two cells, or a
+// non-positive expected count — merge sparse tail cells before calling.
+func ChiSquare(observed []int, expected []float64) (stat float64, df int, p float64) {
+	if len(observed) != len(expected) {
+		panic("stats: ChiSquare length mismatch")
+	}
+	if len(observed) < 2 {
+		panic("stats: ChiSquare needs at least 2 cells")
+	}
+	for i, e := range expected {
+		if e <= 0 {
+			panic("stats: ChiSquare requires positive expected counts")
+		}
+		diff := float64(observed[i]) - e
+		stat += diff * diff / e
+	}
+	df = len(observed) - 1
+	return stat, df, ChiSquareP(stat, df)
+}
+
+// ChiSquareTwoSample tests whether two count histograms over the same cells
+// draw from one distribution: expected cell counts come from the pooled
+// proportions, the statistic sums both samples' (O−E)²/E, and the degrees
+// of freedom are (#kept cells − 1). Cells empty in both samples are
+// skipped. It panics on a length mismatch, an empty sample, or fewer than
+// two non-empty cells.
+func ChiSquareTwoSample(a, b []int) (stat float64, df int, p float64) {
+	if len(a) != len(b) {
+		panic("stats: ChiSquareTwoSample length mismatch")
+	}
+	na, nb := 0, 0
+	for i := range a {
+		if a[i] < 0 || b[i] < 0 {
+			panic("stats: ChiSquareTwoSample requires non-negative counts")
+		}
+		na += a[i]
+		nb += b[i]
+	}
+	if na == 0 || nb == 0 {
+		panic("stats: ChiSquareTwoSample of empty sample")
+	}
+	fa := float64(na) / float64(na+nb)
+	fb := float64(nb) / float64(na+nb)
+	cells := 0
+	for i := range a {
+		pooled := a[i] + b[i]
+		if pooled == 0 {
+			continue
+		}
+		cells++
+		ea := float64(pooled) * fa
+		eb := float64(pooled) * fb
+		da := float64(a[i]) - ea
+		db := float64(b[i]) - eb
+		stat += da*da/ea + db*db/eb
+	}
+	if cells < 2 {
+		panic("stats: ChiSquareTwoSample needs at least 2 non-empty cells")
+	}
+	df = cells - 1
+	return stat, df, ChiSquareP(stat, df)
+}
+
+// ChiSquareP returns the upper-tail probability P(X ≥ stat) for a
+// chi-square variable with df degrees of freedom, via the regularized
+// incomplete gamma function Q(df/2, stat/2). It panics if df < 1; a
+// negative statistic reports 1.
+func ChiSquareP(stat float64, df int) float64 {
+	if df < 1 {
+		panic("stats: ChiSquareP requires df >= 1")
+	}
+	if stat <= 0 {
+		return 1
+	}
+	return regularizedGammaQ(float64(df)/2, stat/2)
+}
+
+// regularizedGammaQ computes Q(s, x) = Γ(s, x)/Γ(s), the normalized upper
+// incomplete gamma function, by the standard series (x < s+1) or continued
+// fraction (otherwise) expansions.
+func regularizedGammaQ(s, x float64) float64 {
+	if x < 0 || s <= 0 {
+		panic("stats: regularizedGammaQ domain error")
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < s+1 {
+		return 1 - gammaPSeries(s, x)
+	}
+	return gammaQContinuedFraction(s, x)
+}
+
+// gammaPSeries evaluates P(s, x) = 1 − Q(s, x) by its power series,
+// accurate for x < s+1.
+func gammaPSeries(s, x float64) float64 {
+	lg, _ := math.Lgamma(s)
+	ap := s
+	sum := 1 / s
+	del := sum
+	for i := 0; i < 500; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+s*math.Log(x)-lg)
+}
+
+// gammaQContinuedFraction evaluates Q(s, x) by the Lentz-modified continued
+// fraction, accurate for x >= s+1.
+func gammaQContinuedFraction(s, x float64) float64 {
+	lg, _ := math.Lgamma(s)
+	const tiny = 1e-300
+	b := x + 1 - s
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= 500; i++ {
+		an := -float64(i) * (float64(i) - s)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+s*math.Log(x)-lg) * h
+}

@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+// TestKolmogorovSmirnovHandComputed pins the two-sample statistic on small
+// cases worked out by hand.
+func TestKolmogorovSmirnovHandComputed(t *testing.T) {
+	// Identical samples: D = 0, p = 1.
+	d, p := KolmogorovSmirnov([]float64{1, 2, 3}, []float64{1, 2, 3})
+	almost(t, "D(identical)", d, 0, 0)
+	almost(t, "p(identical)", p, 1, 0)
+
+	// xs = {1,2,3}, ys = {1.5,2.5,3.5}: after each xs point the empirical
+	// CDFs differ by 1/3; D = 1/3.
+	d, _ = KolmogorovSmirnov([]float64{1, 2, 3}, []float64{1.5, 2.5, 3.5})
+	almost(t, "D(interleaved)", d, 1.0/3, 1e-12)
+
+	// Disjoint supports: D = 1.
+	d, p = KolmogorovSmirnov([]float64{1, 2}, []float64{10, 11, 12})
+	almost(t, "D(disjoint)", d, 1, 0)
+	if p > 0.2 {
+		t.Errorf("p(disjoint) = %v, want small", p)
+	}
+
+	// Ties across samples must not inflate D: {1,1,2} vs {1,2,2} has
+	// F1-F2 = 2/3-1/3 = 1/3 after value 1.
+	d, _ = KolmogorovSmirnov([]float64{1, 1, 2}, []float64{1, 2, 2})
+	almost(t, "D(ties)", d, 1.0/3, 1e-12)
+}
+
+// TestKolmogorovSmirnovDistinguishes runs the test on deterministic grids:
+// equal distributions pass, shifted ones fail.
+func TestKolmogorovSmirnovDistinguishes(t *testing.T) {
+	var same1, same2, shifted []float64
+	for i := 0; i < 500; i++ {
+		x := float64(i) / 500
+		same1 = append(same1, x)
+		same2 = append(same2, x+0.0001)
+		shifted = append(shifted, x*x) // a different law on [0,1)
+	}
+	if _, p := KolmogorovSmirnov(same1, same2); p < 0.5 {
+		t.Errorf("near-identical grids rejected: p=%v", p)
+	}
+	if _, p := KolmogorovSmirnov(same1, shifted); p > 1e-6 {
+		t.Errorf("distinct laws not rejected: p=%v", p)
+	}
+}
+
+// TestKolmogorovSmirnovAgreesWithOneSample cross-checks the shared
+// Kolmogorov tail: a two-sample test against a huge reference sample
+// approximates the one-sample test against the underlying CDF.
+func TestKolmogorovSmirnovAgreesWithOneSample(t *testing.T) {
+	var small, big []float64
+	for i := 0; i < 100; i++ {
+		small = append(small, (float64(i)+0.5)/100)
+	}
+	for i := 0; i < 100000; i++ {
+		big = append(big, (float64(i)+0.5)/100000)
+	}
+	d2, _ := KolmogorovSmirnov(small, big)
+	d1 := KSStatistic(small, func(x float64) float64 {
+		switch {
+		case x < 0:
+			return 0
+		case x > 1:
+			return 1
+		}
+		return x
+	})
+	almost(t, "two-sample vs one-sample D", d2, d1, 2e-3)
+}
+
+// TestChiSquareHandComputed pins the statistic and p-value on cases with
+// closed forms: for df = 2 the upper tail is exactly e^{−x/2}, and for
+// df = 1 it is 2(1 − Φ(√x)) = erfc(√(x/2)).
+func TestChiSquareHandComputed(t *testing.T) {
+	// Perfect fit.
+	stat, df, p := ChiSquare([]int{10, 20, 30}, []float64{10, 20, 30})
+	almost(t, "stat(perfect)", stat, 0, 0)
+	if df != 2 {
+		t.Errorf("df = %d, want 2", df)
+	}
+	almost(t, "p(perfect)", p, 1, 0)
+
+	// Hand-computed: observed {10,10}, expected {5,15}:
+	// (10−5)²/5 + (10−15)²/15 = 5 + 5/3.
+	stat, df, p = ChiSquare([]int{10, 10}, []float64{5, 15})
+	almost(t, "stat(hand)", stat, 5+5.0/3, 1e-12)
+	if df != 1 {
+		t.Errorf("df = %d, want 1", df)
+	}
+	almost(t, "p(hand)", p, math.Erfc(math.Sqrt(stat/2)), 1e-10)
+
+	// df = 2 closed form at several statistics.
+	for _, x := range []float64{0.5, 2, 4, 10} {
+		almost(t, "chi2 tail df=2", ChiSquareP(x, 2), math.Exp(-x/2), 1e-10)
+	}
+	// Textbook value: P(X² ≥ 3.841 | df=1) = 0.05.
+	almost(t, "chi2 tail df=1 at 3.841", ChiSquareP(3.841, 1), 0.05, 1e-3)
+	// Large-df sanity: the median of chi-square(df) is near df − 2/3.
+	if p := ChiSquareP(100-2.0/3, 100); math.Abs(p-0.5) > 0.01 {
+		t.Errorf("median tail df=100: %v, want ≈0.5", p)
+	}
+}
+
+// TestChiSquareTwoSampleHandComputed pins the pooled two-sample statistic.
+func TestChiSquareTwoSampleHandComputed(t *testing.T) {
+	// Equal histograms agree perfectly.
+	stat, df, p := ChiSquareTwoSample([]int{5, 10, 15}, []int{5, 10, 15})
+	almost(t, "stat(equal)", stat, 0, 1e-12)
+	if df != 2 {
+		t.Errorf("df = %d, want 2", df)
+	}
+	almost(t, "p(equal)", p, 1, 1e-12)
+
+	// Hand-computed 2×2 case: a = {10, 20}, b = {20, 10}. Pooled
+	// proportions are 1/2; expected each cell: 15. stat = 4·(5²/15) = 20/3.
+	stat, df, _ = ChiSquareTwoSample([]int{10, 20}, []int{20, 10})
+	almost(t, "stat(2x2)", stat, 20.0/3, 1e-12)
+	if df != 1 {
+		t.Errorf("df = %d, want 1", df)
+	}
+
+	// Cells empty in both samples are skipped, not counted as agreement.
+	_, df, _ = ChiSquareTwoSample([]int{10, 0, 20}, []int{12, 0, 18})
+	if df != 1 {
+		t.Errorf("df with empty cell = %d, want 1", df)
+	}
+
+	// Unbalanced sample sizes: identical proportions still agree.
+	_, _, p = ChiSquareTwoSample([]int{100, 200, 300}, []int{10, 20, 30})
+	almost(t, "p(proportional)", p, 1, 1e-9)
+}
+
+// TestGoodnessOfFitPanics pins the input guards.
+func TestGoodnessOfFitPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("KS empty", func() { KolmogorovSmirnov(nil, []float64{1}) })
+	expectPanic("ChiSquare mismatch", func() { ChiSquare([]int{1}, []float64{1, 2}) })
+	expectPanic("ChiSquare one cell", func() { ChiSquare([]int{1}, []float64{1}) })
+	expectPanic("ChiSquare zero expected", func() { ChiSquare([]int{1, 2}, []float64{0, 3}) })
+	expectPanic("TwoSample mismatch", func() { ChiSquareTwoSample([]int{1}, []int{1, 2}) })
+	expectPanic("TwoSample empty", func() { ChiSquareTwoSample([]int{0, 0}, []int{1, 2}) })
+	expectPanic("TwoSample negative", func() { ChiSquareTwoSample([]int{-1, 2}, []int{1, 2}) })
+	expectPanic("ChiSquareP df=0", func() { ChiSquareP(1, 0) })
+}

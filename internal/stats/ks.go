@@ -40,25 +40,7 @@ func KSPValue(d float64, n int) float64 {
 		panic("stats: KSPValue requires n > 0")
 	}
 	sqrtN := math.Sqrt(float64(n))
-	lambda := (sqrtN + 0.12 + 0.11/sqrtN) * d
-	if lambda < 1e-8 {
-		return 1
-	}
-	sum := 0.0
-	for k := 1; k <= 100; k++ {
-		term := 2 * math.Pow(-1, float64(k-1)) * math.Exp(-2*float64(k*k)*lambda*lambda)
-		sum += term
-		if math.Abs(term) < 1e-12 {
-			break
-		}
-	}
-	if sum < 0 {
-		sum = 0
-	}
-	if sum > 1 {
-		sum = 1
-	}
-	return sum
+	return kolmogorovQ((sqrtN + 0.12 + 0.11/sqrtN) * d)
 }
 
 // KSTest returns the statistic and approximate p-value of xs against cdf.
