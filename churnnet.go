@@ -113,12 +113,30 @@ func NewStationaryModel(kind ModelKind, n, d int, seed uint64) Model {
 	return core.SampleStationary(kind, n, d, rng.New(seed))
 }
 
+// NewStationaryModelPar is NewStationaryModel with the snapshot-wiring
+// arena fill sharded over `workers` goroutines (the counting-sort passes
+// shard by slot range; see DESIGN.md, "Sharded cut execution"). The
+// sampled model is bit-for-bit identical at every worker count — the knob
+// only spends more cores on the O(n·d) fill.
+func NewStationaryModelPar(kind ModelKind, n, d int, seed uint64, workers int) Model {
+	return core.SampleStationaryPar(kind, n, d, rng.New(seed), workers)
+}
+
 // NewReadyModel builds a measurement-ready model: NewStationaryModel when
 // fastWarmUp is set, NewWarmModel otherwise — the one dispatch point
 // behind every fast-warm-up knob (ExperimentConfig.FastWarmUp, the CLIs'
 // -fastwarmup flags).
 func NewReadyModel(kind ModelKind, n, d int, seed uint64, fastWarmUp bool) Model {
 	return core.NewReadyModel(kind, n, d, rng.New(seed), fastWarmUp)
+}
+
+// NewReadyModelPar is NewReadyModel with the fast-warm-up snapshot wiring
+// sharded over `workers` goroutines (simulated warm-up is inherently
+// serial and ignores the knob); the built model is bit-for-bit identical
+// at every worker count. It backs the CLIs' -floodpar flag on -fastwarmup
+// runs.
+func NewReadyModelPar(kind ModelKind, n, d int, seed uint64, fastWarmUp bool, workers int) Model {
+	return core.NewReadyModelPar(kind, n, d, rng.New(seed), fastWarmUp, workers)
 }
 
 // NewStaticModel wraps a fixed graph as a churn-free Model (the baseline of
@@ -330,10 +348,13 @@ type Experiment = experiments.Experiment
 
 // ExperimentConfig parameterizes experiment execution: scale, root seed,
 // the trial-parallelism cap (0 = GOMAXPROCS, 1 = serial), an optional
-// per-trial progress callback, and the FastWarmUp knob that builds trial
+// per-trial progress callback, the FastWarmUp knob that builds trial
 // models by direct stationary sampling (NewStationaryModel) instead of
-// simulated warm-up. Results are bit-identical at every parallelism
-// setting.
+// simulated warm-up, and the FloodParallelism shard count applied inside
+// each single flooding run and fast-warm-up snapshot fill (0 or 1 =
+// serial — the right setting when trial-level parallelism already
+// saturates the cores). Results are bit-identical at every parallelism
+// setting, trial-level and intra-flood alike.
 type ExperimentConfig = experiments.Config
 
 // ResultTable is a rendered experiment result.

@@ -1,6 +1,6 @@
 // Command benchjson writes machine-readable perf records as JSON — the
 // artifacts CI uploads and EXPERIMENTS.md quotes for the large-n runs. It
-// carries two benchmarks, selected by -bench:
+// carries four benchmarks, selected by -bench:
 //
 //   - flood (default): the incremental cut-set flooding engine (flood.Run)
 //     against the full-rescan reference (flood.RunReference) on identically
@@ -19,18 +19,41 @@
 //     (population, mean live out-degree) so a speedup can never hide a
 //     wrong snapshot.
 //
+//   - floodpar: the sharded cut engine (flood.Options.Parallelism, the
+//     -floodpar knob) — serial vs W ∈ {2, 4, 8} worker shards on one
+//     broadcast per case, plus a parallel-vs-serial sweep of the
+//     graph.WireSnapshotEdgesPar arena fill. Build and flood phases are
+//     timed GC-isolated, every sharded Result is verified bit-for-bit
+//     equal to the serial one, and the record carries GOMAXPROCS so a
+//     single-core runner's parity rows read as what they are — the
+//     BENCH_floodpar.json record.
+//
+//   - edgerate: the cut-set engine's event feed under the bounded-degree
+//     policies (the F22/Section 5 open question): OnEdge events per time
+//     unit, the regeneration share and per-death burst sizes, and an
+//     engine-flooded broadcast, for the plain uniform draw vs the hard
+//     inbound cap at n up to 10⁶ — the BENCH_edgerate.json record behind
+//     the large-n F22 row in EXPERIMENTS.md. Policy models have no
+//     closed-form stationary law, so the warm-up is simulated (minutes at
+//     n = 10⁶; use -reps 1).
+//
 // Usage:
 //
 //	benchjson -out BENCH_flood.json                        # smoke scale (CI)
 //	benchjson -scale large -out BENCH_flood.json           # committed large-n record
 //	benchjson -bench warmup -out BENCH_warmup.json         # smoke scale (CI)
 //	benchjson -bench warmup -scale large -reps 1 -out BENCH_warmup.json
+//	benchjson -bench floodpar -out BENCH_floodpar.json     # smoke scale (CI)
+//	benchjson -bench floodpar -scale large -reps 1 -out BENCH_floodpar.json
+//	benchjson -bench edgerate -scale large -reps 1 -out BENCH_edgerate.json
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"reflect"
 	"runtime"
@@ -38,6 +61,7 @@ import (
 
 	"github.com/dyngraph/churnnet/internal/core"
 	"github.com/dyngraph/churnnet/internal/flood"
+	"github.com/dyngraph/churnnet/internal/graph"
 	"github.com/dyngraph/churnnet/internal/rng"
 )
 
@@ -86,27 +110,29 @@ type caseResult struct {
 }
 
 type output struct {
-	Benchmark string       `json:"benchmark"`
-	Scale     string       `json:"scale"`
-	GoVersion string       `json:"go_version"`
-	GOOS      string       `json:"goos"`
-	GOARCH    string       `json:"goarch"`
-	Generated string       `json:"generated"`
-	Cases     []caseResult `json:"cases"`
+	Benchmark  string       `json:"benchmark"`
+	Scale      string       `json:"scale"`
+	GoVersion  string       `json:"go_version"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Generated  string       `json:"generated"`
+	Cases      []caseResult `json:"cases"`
 }
 
 func main() {
 	var (
-		bench   = flag.String("bench", "flood", "flood (engine vs reference) or warmup (WarmUp vs SampleStationary)")
-		out     = flag.String("out", "", "output path (- for stdout; default BENCH_<bench>.json)")
-		scale   = flag.String("scale", "smoke", "smoke (CI, seconds) or large (the committed 10k..1M record)")
-		seed    = flag.Uint64("seed", 1, "deterministic seed")
-		reps    = flag.Int("reps", 3, "timed repetitions per implementation (min is reported)")
-		maxRefN = flag.Int("max-ref-n", 200000, "flood only: time the reference only for n <= this (0 = always)")
+		bench    = flag.String("bench", "flood", "flood (engine vs reference), warmup (WarmUp vs SampleStationary), floodpar (serial vs sharded engine + parallel snapshot wiring) or edgerate (cut-event feed under bounded-degree policies)")
+		out      = flag.String("out", "", "output path (- for stdout; default BENCH_<bench>.json)")
+		scale    = flag.String("scale", "smoke", "smoke (CI, seconds) or large (the committed 10k..10M record)")
+		seed     = flag.Uint64("seed", 1, "deterministic seed")
+		reps     = flag.Int("reps", 3, "timed repetitions per implementation (min is reported)")
+		maxRefN  = flag.Int("max-ref-n", 200000, "flood only: time the reference only for n <= this (0 = always)")
+		floodPar = flag.Int("floodpar", 1, "flood only: worker shards inside each engine broadcast (floodpar mode sweeps its own)")
 	)
 	flag.Parse()
-	if *reps < 1 {
-		fmt.Fprintln(os.Stderr, "benchjson: -reps must be >= 1")
+	if err := validateFlags(*reps, *maxRefN, *floodPar); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(2)
 	}
 	if *out == "" {
@@ -114,16 +140,35 @@ func main() {
 	}
 	switch *bench {
 	case "flood":
-		runFloodBench(*out, *scale, *seed, *reps, *maxRefN)
+		runFloodBench(*out, *scale, *seed, *reps, *maxRefN, *floodPar)
 	case "warmup":
 		runWarmupBench(*out, *scale, *seed, *reps)
+	case "floodpar":
+		runFloodParBench(*out, *scale, *seed, *reps)
+	case "edgerate":
+		runEdgeRateBench(*out, *scale, *seed, *reps)
 	default:
-		fmt.Fprintf(os.Stderr, "benchjson: unknown -bench %q (want flood or warmup)\n", *bench)
+		fmt.Fprintf(os.Stderr, "benchjson: unknown -bench %q (want flood, warmup, floodpar or edgerate)\n", *bench)
 		os.Exit(2)
 	}
 }
 
-func runFloodBench(out, scale string, seed uint64, reps, maxRefN int) {
+// validateFlags rejects invalid flag values; the returned error names the
+// offending flag. Kept separate from main so the flag paths are
+// regression-testable (see main_test.go).
+func validateFlags(reps, maxRefN, floodPar int) error {
+	switch {
+	case reps < 1:
+		return errors.New("-reps must be >= 1")
+	case maxRefN < 0:
+		return errors.New("-max-ref-n must be >= 0 (0 = always)")
+	case floodPar < 1:
+		return errors.New("-floodpar must be >= 1")
+	}
+	return nil
+}
+
+func runFloodBench(out, scale string, seed uint64, reps, maxRefN, floodPar int) {
 	var cases []benchCase
 	switch scale {
 	case "smoke":
@@ -150,15 +195,16 @@ func runFloodBench(out, scale string, seed uint64, reps, maxRefN int) {
 	}
 
 	o := output{
-		Benchmark: "flood: cut-set engine vs full-rescan reference",
-		Scale:     scale,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		Generated: time.Now().UTC().Format(time.RFC3339),
+		Benchmark:  "flood: cut-set engine vs full-rescan reference",
+		Scale:      scale,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Generated:  time.Now().UTC().Format(time.RFC3339),
 	}
 	for _, c := range cases {
-		o.Cases = append(o.Cases, runCase(c, seed, reps, maxRefN))
+		o.Cases = append(o.Cases, runCase(c, seed, reps, maxRefN, floodPar))
 	}
 	writeJSON(out, o, len(o.Cases))
 }
@@ -186,13 +232,13 @@ func writeJSON(out string, v any, cases int) {
 // freshly warmed model (flooding advances the network, so runs cannot
 // share one), and the minimum over repetitions is reported — the standard
 // way to suppress scheduler noise.
-func runCase(c benchCase, seed uint64, reps, maxRefN int) caseResult {
+func runCase(c benchCase, seed uint64, reps, maxRefN, floodPar int) caseResult {
 	fmt.Fprintf(os.Stderr, "benchjson: %s n=%d d=%d %s %s...\n", c.kind, c.n, c.d, c.mode, c.workload())
 	cr := caseResult{
 		Model: c.kind.String(), N: c.n, D: c.d,
 		Mode: c.mode.String(), Workload: c.workload(), Seed: seed, Reps: reps,
 	}
-	opts := flood.Options{Mode: c.mode}
+	opts := flood.Options{Mode: c.mode, Parallelism: floodPar}
 	if c.window > 0 {
 		opts.MaxRounds = c.window
 		opts.RunToMax = true
@@ -391,4 +437,398 @@ func meanLiveOut(m core.Model) float64 {
 		return 0
 	}
 	return float64(g.NumEdgesLive()) / float64(g.NumAlive())
+}
+
+// --- the sharded-engine benchmark (-bench floodpar) ---
+
+type floodparCase struct {
+	kind core.Kind
+	n, d int
+	// window as in benchCase: > 0 floods RunToMax over that many rounds.
+	window int
+}
+
+type floodparResult struct {
+	Model    string `json:"model"`
+	N        int    `json:"n"`
+	D        int    `json:"d"`
+	Workload string `json:"workload"`
+	Seed     uint64 `json:"seed"`
+	Reps     int    `json:"reps"`
+	// Par is the engine's worker-shard count (flood.Options.Parallelism);
+	// 1 is the serial baseline the other rows compare against.
+	Par int `json:"par"`
+
+	// BuildNs times core.SampleStationaryPar with the snapshot wiring
+	// sharded at Par; FloodNs times flood.Run alone. The phases are
+	// GC-isolated (a forced collection before each timed region).
+	BuildNs int64 `json:"build_ns"`
+	FloodNs int64 `json:"flood_ns"`
+
+	// SpeedupVsSerial is serial-flood / this-flood wall time; omitted on
+	// the serial row itself.
+	SpeedupVsSerial *float64 `json:"speedup_vs_serial,omitempty"`
+	// ResultsEqual confirms this row's Result is bit-for-bit the serial
+	// engine's; omitted on the serial row.
+	ResultsEqual *bool `json:"results_equal,omitempty"`
+
+	Completed       bool `json:"completed"`
+	CompletionRound int  `json:"completion_round"`
+	FinalInformed   int  `json:"final_informed"`
+	FinalAlive      int  `json:"final_alive"`
+}
+
+type wireFillResult struct {
+	N       int    `json:"n"`
+	D       int    `json:"d"`
+	Workers int    `json:"workers"`
+	Seed    uint64 `json:"seed"`
+	Reps    int    `json:"reps"`
+	WireNs  int64  `json:"wire_ns"`
+	// SpeedupVsSerial is serial-fill / this-fill wall time; omitted on the
+	// workers=1 row.
+	SpeedupVsSerial *float64 `json:"speedup_vs_serial,omitempty"`
+	// LayoutEqual confirms the filled adjacency (including in-list order)
+	// hashes identically to the serial fill; omitted on the workers=1 row.
+	LayoutEqual *bool `json:"layout_equal,omitempty"`
+}
+
+type floodparOutput struct {
+	Benchmark  string           `json:"benchmark"`
+	Scale      string           `json:"scale"`
+	GoVersion  string           `json:"go_version"`
+	GOOS       string           `json:"goos"`
+	GOARCH     string           `json:"goarch"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Generated  string           `json:"generated"`
+	Cases      []floodparResult `json:"cases"`
+	WireFill   []wireFillResult `json:"wire_fill"`
+}
+
+// runFloodParBench measures the sharded engine against its own serial
+// mode, then the parallel WireSnapshotEdges fill against the serial one.
+// Models are built by stationary sampling (simulated warm-up would
+// dominate at n = 10⁷ and the engine contract is warm-up-agnostic);
+// identical seeds build identical models at every Par, so the
+// result-equality column is exact.
+func runFloodParBench(out, scale string, seed uint64, reps int) {
+	var cases []floodparCase
+	var pars []int
+	var wireNs []int
+	switch scale {
+	case "smoke":
+		cases = []floodparCase{
+			{kind: core.SDGR, n: 2000, d: 21},
+			{kind: core.SDGR, n: 10000, d: 21, window: 50},
+			{kind: core.PDGR, n: 10000, d: 35},
+		}
+		pars = []int{1, 2, 4}
+		wireNs = []int{20000}
+	case "large":
+		cases = []floodparCase{
+			{kind: core.SDGR, n: 100000, d: 21},
+			{kind: core.SDGR, n: 1000000, d: 21},
+			{kind: core.SDGR, n: 1000000, d: 21, window: 100},
+			{kind: core.SDGR, n: 10000000, d: 21},
+		}
+		pars = []int{1, 2, 4, 8}
+		wireNs = []int{100000, 1000000}
+	default:
+		fmt.Fprintf(os.Stderr, "benchjson: unknown -scale %q (want smoke or large)\n", scale)
+		os.Exit(2)
+	}
+
+	o := floodparOutput{
+		Benchmark:  "floodpar: serial vs sharded cut engine + parallel snapshot wiring",
+		Scale:      scale,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, c := range cases {
+		var serial floodparResult
+		var serialRes flood.Result
+		for _, par := range pars {
+			fr, res := runFloodParCase(c, par, seed, reps)
+			if par == 1 {
+				serial, serialRes = fr, res
+			} else {
+				sp := float64(serial.FloodNs) / float64(fr.FloodNs)
+				fr.SpeedupVsSerial = &sp
+				eq := reflect.DeepEqual(res, serialRes)
+				fr.ResultsEqual = &eq
+				if !eq {
+					fmt.Fprintf(os.Stderr, "benchjson: ERROR: par %d diverged from serial for %s n=%d\n",
+						par, c.kind, c.n)
+					os.Exit(1)
+				}
+			}
+			o.Cases = append(o.Cases, fr)
+		}
+	}
+	for _, n := range wireNs {
+		var serial wireFillResult
+		var serialHash uint64
+		for _, w := range pars {
+			wr, h := runWireFillCase(n, 21, w, seed, reps)
+			if w == 1 {
+				serial, serialHash = wr, h
+			} else {
+				sp := float64(serial.WireNs) / float64(wr.WireNs)
+				wr.SpeedupVsSerial = &sp
+				eq := h == serialHash
+				wr.LayoutEqual = &eq
+				if !eq {
+					fmt.Fprintf(os.Stderr, "benchjson: ERROR: wire fill at %d workers diverged (n=%d)\n", w, n)
+					os.Exit(1)
+				}
+			}
+			o.WireFill = append(o.WireFill, wr)
+		}
+	}
+	writeJSON(out, o, len(o.Cases)+len(o.WireFill))
+}
+
+func (c floodparCase) workload() string {
+	if c.window > 0 {
+		return fmt.Sprintf("window-%d", c.window)
+	}
+	return "to-completion"
+}
+
+func runFloodParCase(c floodparCase, par int, seed uint64, reps int) (floodparResult, flood.Result) {
+	fmt.Fprintf(os.Stderr, "benchjson: floodpar %s n=%d d=%d %s par=%d...\n",
+		c.kind, c.n, c.d, c.workload(), par)
+	fr := floodparResult{
+		Model: c.kind.String(), N: c.n, D: c.d,
+		Workload: c.workload(), Seed: seed, Reps: reps, Par: par,
+	}
+	opts := flood.Options{Parallelism: par}
+	if c.window > 0 {
+		opts.MaxRounds = c.window
+		opts.RunToMax = true
+	}
+	var first flood.Result
+	for rep := 0; rep < reps; rep++ {
+		repSeed := seed + uint64(rep)
+		runtime.GC()
+		t0 := time.Now()
+		m := core.SampleStationaryPar(c.kind, c.n, c.d, rng.New(repSeed), par)
+		buildNs := int64(time.Since(t0))
+		if rep == 0 || buildNs < fr.BuildNs {
+			fr.BuildNs = buildNs
+		}
+		runtime.GC()
+		t0 = time.Now()
+		res := flood.Run(m, opts)
+		floodNs := int64(time.Since(t0))
+		if rep == 0 || floodNs < fr.FloodNs {
+			fr.FloodNs = floodNs
+		}
+		if rep == 0 {
+			first = res
+		}
+	}
+	fr.Completed = first.Completed
+	fr.CompletionRound = first.CompletionRound
+	fr.FinalInformed = first.FinalInformed
+	fr.FinalAlive = first.FinalAlive
+	return fr, first
+}
+
+// runWireFillCase times graph.WireSnapshotEdgesPar alone on a synthetic
+// uniform d-out spec (the snapshot samplers' workload shape) and returns
+// an adjacency hash covering out-target and in-source order, so a layout
+// divergence can never hide behind a fast fill.
+func runWireFillCase(n, d, workers int, seed uint64, reps int) (wireFillResult, uint64) {
+	fmt.Fprintf(os.Stderr, "benchjson: wire fill n=%d d=%d workers=%d...\n", n, d, workers)
+	wr := wireFillResult{N: n, D: d, Workers: workers, Seed: seed, Reps: reps}
+	var hash uint64
+	for rep := 0; rep < reps; rep++ {
+		r := rng.New(seed) // same spec every rep and every worker count
+		starts := make([]int32, n+1)
+		targets := make([]uint32, 0, n*d)
+		for s := 0; s < n; s++ {
+			for j := 0; j < d && n > 1; j++ {
+				t := r.Intn(n - 1)
+				if t >= s {
+					t++
+				}
+				targets = append(targets, uint32(t))
+			}
+			starts[s+1] = int32(len(targets))
+		}
+		g := graph.New(n, d)
+		for i := 0; i < n; i++ {
+			g.AddNode(float64(i))
+		}
+		runtime.GC()
+		t0 := time.Now()
+		g.WireSnapshotEdgesPar(starts, targets, workers)
+		wireNs := int64(time.Since(t0))
+		if rep == 0 || wireNs < wr.WireNs {
+			wr.WireNs = wireNs
+		}
+		if rep == 0 {
+			hash = adjacencyHash(g, n)
+		}
+	}
+	return wr, hash
+}
+
+// adjacencyHash folds every node's out-target and in-source sequences
+// (order included) into one FNV-64 value.
+func adjacencyHash(g *graph.Graph, n int) uint64 {
+	h := fnv.New64a()
+	buf := make([]byte, 4)
+	put := func(v uint32) {
+		buf[0], buf[1], buf[2], buf[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		h.Write(buf)
+	}
+	for s := 0; s < n; s++ {
+		hd := graph.Handle{Slot: uint32(s), Gen: 1}
+		put(^uint32(0)) // node separator
+		g.OutTargets(hd, func(x graph.Handle) bool { put(x.Slot); return true })
+		put(^uint32(1))
+		g.InSources(hd, func(x graph.Handle) bool { put(x.Slot); return true })
+	}
+	return h.Sum64()
+}
+
+// --- the cut-event-feed benchmark (-bench edgerate) ---
+
+type edgeRateResult struct {
+	Model  string `json:"model"`
+	Policy string `json:"policy"`
+	N      int    `json:"n"`
+	D      int    `json:"d"`
+	Seed   uint64 `json:"seed"`
+
+	WarmupNs int64 `json:"warmup_ns"`
+
+	// Window is the measured span in time units; the counters below cover
+	// exactly that span.
+	Window float64 `json:"window"`
+	Events int     `json:"on_edge_events"`
+	Births int     `json:"births"`
+	Deaths int     `json:"deaths"`
+	// EventsPerUnit is the OnEdge rate the cut engine absorbs per
+	// transmission time unit.
+	EventsPerUnit float64 `json:"events_per_unit"`
+	// RegenShare is the fraction of OnEdge events fired by rule-3
+	// regeneration rather than birth requests.
+	RegenShare float64 `json:"regen_share"`
+	// MaxRegenBurst / MeanRegenBurst describe the per-death regeneration
+	// bursts (the dying node's live in-degree) — the quantity the inbound
+	// cap bounds.
+	MaxRegenBurst  int     `json:"max_regen_burst"`
+	MeanRegenBurst float64 `json:"mean_regen_burst"`
+
+	// A broadcast on the measured network, run on the cut-set engine: the
+	// F22 engine-reuse signal at scale.
+	FloodNs         int64 `json:"flood_ns"`
+	FloodCompleted  bool  `json:"flood_completed"`
+	CompletionRound int   `json:"completion_round"`
+}
+
+type edgeRateOutput struct {
+	Benchmark  string           `json:"benchmark"`
+	Scale      string           `json:"scale"`
+	GoVersion  string           `json:"go_version"`
+	GOOS       string           `json:"goos"`
+	GOARCH     string           `json:"goarch"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Generated  string           `json:"generated"`
+	Cases      []edgeRateResult `json:"cases"`
+}
+
+// runEdgeRateBench measures the OnEdge event stream feeding the cut
+// engine under PDGR dynamics with the plain uniform draw vs the hard
+// inbound cap (core.DegreePolicy{InCap: 2d}) — the F22 configuration.
+// Policy variants have no closed-form stationary law, so warm-up is
+// simulated; at n = 10⁶ expect minutes per case.
+func runEdgeRateBench(out, scale string, seed uint64, reps int) {
+	d := 20 // the F22 out-degree
+	var ns []int
+	var window float64
+	switch scale {
+	case "smoke":
+		ns = []int{2000}
+		window = 200
+	case "large":
+		ns = []int{100000, 1000000}
+		window = 2000
+	default:
+		fmt.Fprintf(os.Stderr, "benchjson: unknown -scale %q (want smoke or large)\n", scale)
+		os.Exit(2)
+	}
+	_ = reps // warm-up dominates; each case runs once
+
+	o := edgeRateOutput{
+		Benchmark:  "edgerate: OnEdge feed of the cut engine under bounded-degree policies (F22)",
+		Scale:      scale,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+	}
+	policies := []core.DegreePolicy{{}, {InCap: 2 * d}}
+	for _, n := range ns {
+		for _, policy := range policies {
+			o.Cases = append(o.Cases, runEdgeRateCase(n, d, policy, seed, window))
+		}
+	}
+	writeJSON(out, o, len(o.Cases))
+}
+
+func runEdgeRateCase(n, d int, policy core.DegreePolicy, seed uint64, window float64) edgeRateResult {
+	fmt.Fprintf(os.Stderr, "benchjson: edgerate %s n=%d d=%d (simulated warm-up)...\n", policy, n, d)
+	er := edgeRateResult{
+		Model: core.PDGR.String(), Policy: policy.String(), N: n, D: d, Seed: seed,
+	}
+	m := core.NewPoissonVariant(n, d, true, policy, rng.New(seed))
+	t0 := time.Now()
+	m.WarmUp()
+	er.WarmupNs = int64(time.Since(t0))
+
+	g := m.Graph()
+	bursts := 0
+	m.SetHooks(core.Hooks{
+		OnBirth: func(graph.Handle) { er.Births++ },
+		OnDeath: func(h graph.Handle) {
+			er.Deaths++
+			// The hook fires before removal: the live in-degree is exactly
+			// the number of rule-3 regenerations this death triggers.
+			b := g.InDegreeLive(h)
+			bursts += b
+			if b > er.MaxRegenBurst {
+				er.MaxRegenBurst = b
+			}
+		},
+		OnEdge: func(u, v graph.Handle) { er.Events++ },
+	})
+	m.AdvanceTime(window)
+	m.SetHooks(core.Hooks{})
+	er.Window = window
+	er.EventsPerUnit = float64(er.Events) / window
+	if er.Events > 0 {
+		er.RegenShare = float64(er.Events-d*er.Births) / float64(er.Events)
+	}
+	if er.Deaths > 0 {
+		er.MeanRegenBurst = float64(bursts) / float64(er.Deaths)
+	}
+
+	for !g.IsAlive(m.LastBorn()) {
+		m.AdvanceRound()
+	}
+	runtime.GC()
+	t0 = time.Now()
+	res := flood.Run(m, flood.Options{Source: m.LastBorn()})
+	er.FloodNs = int64(time.Since(t0))
+	er.FloodCompleted = res.Completed
+	er.CompletionRound = res.CompletionRound
+	return er
 }

@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+// TestValidateFlags pins the flag guard rails: -reps keeps its >= 1
+// contract, -max-ref-n its 0 = always meaning, and -floodpar requires an
+// explicit positive shard count (main exits with status 2 on error).
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name                    string
+		reps, maxRefN, floodPar int
+		wantErr                 bool
+	}{
+		{"defaults", 3, 200000, 1, false},
+		{"reference always", 1, 0, 1, false},
+		{"sharded engine", 3, 200000, 8, false},
+		{"zero reps", 0, 200000, 1, true},
+		{"negative max-ref-n", 3, -1, 1, true},
+		{"zero floodpar", 3, 200000, 0, true},
+		{"negative floodpar", 3, 200000, -4, true},
+	}
+	for _, c := range cases {
+		err := validateFlags(c.reps, c.maxRefN, c.floodPar)
+		if (err != nil) != c.wantErr {
+			t.Errorf("%s: validateFlags = %v, wantErr %v", c.name, err, c.wantErr)
+		}
+	}
+}

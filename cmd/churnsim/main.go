@@ -14,6 +14,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +36,7 @@ func main() {
 		trials    = flag.Int("trials", 1, "independent replicas to build (seeds seed, seed+1, ...)")
 		par       = flag.Int("par", 0, "worker-pool size for -trials (0 = all cores)")
 		fastWarm  = flag.Bool("fastwarmup", false, "sample the stationary snapshot directly instead of simulating warm-up")
+		floodPar  = flag.Int("floodpar", 1, "worker shards inside each -fastwarmup snapshot fill; results are identical at any value")
 	)
 	flag.Parse()
 
@@ -43,17 +45,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "churnsim:", err)
 		os.Exit(2)
 	}
-	switch {
-	case *trials < 1:
-		usageError("-trials must be >= 1")
-	case *n < 1:
-		usageError("-n must be >= 1")
-	case *d < 0:
-		usageError("-d must be >= 0")
-	case *rounds < 0:
-		usageError("-rounds must be >= 0")
-	case *par < 0:
-		usageError("-par must be >= 0 (0 = all cores)")
+	if err := validateFlags(*trials, *n, *d, *rounds, *par, *floodPar); err != nil {
+		usageError(err.Error())
 	}
 
 	if *trials > 1 {
@@ -61,12 +54,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "churnsim: -expansion and -trace apply to single-model runs; drop them or use -trials 1")
 			os.Exit(2)
 		}
-		runTrials(kind, *n, *d, *rounds, *seed, *trials, *par, *fastWarm)
+		runTrials(kind, *n, *d, *rounds, *seed, *trials, *par, *fastWarm, *floodPar)
 		return
 	}
 
 	fmt.Printf("building %s with n=%d, d=%d (seed %d)...\n", kind, *n, *d, *seed)
-	m := churnnet.NewReadyModel(kind, *n, *d, *seed, *fastWarm)
+	m := churnnet.NewReadyModelPar(kind, *n, *d, *seed, *fastWarm, *floodPar)
 	if *traceFile != "" {
 		rec := churnnet.NewTraceRecorder()
 		rec.Run(m, *rounds)
@@ -126,7 +119,7 @@ func main() {
 
 // runTrials builds `trials` independently seeded replicas on the worker
 // pool and prints per-replica and aggregate snapshot statistics.
-func runTrials(kind churnnet.ModelKind, n, d, rounds int, seed uint64, trials, par int, fastWarm bool) {
+func runTrials(kind churnnet.ModelKind, n, d, rounds int, seed uint64, trials, par int, fastWarm bool, floodPar int) {
 	fmt.Printf("building %d × %s with n=%d, d=%d (seeds %d..%d, parallelism %d)...\n",
 		trials, kind, n, d, seed, seed+uint64(trials)-1, par)
 
@@ -135,7 +128,7 @@ func runTrials(kind churnnet.ModelKind, n, d, rounds int, seed uint64, trials, p
 		meanDeg              float64
 	}
 	snaps := runner.MapIndexed(runner.Config{Workers: par}, trials, func(i int) snapshot {
-		m := churnnet.NewReadyModel(kind, n, d, seed+uint64(i), fastWarm)
+		m := churnnet.NewReadyModelPar(kind, n, d, seed+uint64(i), fastWarm, floodPar)
 		for r := 0; r < rounds; r++ {
 			m.AdvanceRound()
 		}
@@ -160,6 +153,27 @@ func runTrials(kind churnnet.ModelKind, n, d, rounds int, seed uint64, trials, p
 	}
 	k := float64(trials)
 	fmt.Printf("  %-6s %10.1f %12.1f %12.2f %10.1f\n", "mean", popSum/k, edgeSum/k, degSum/k, isoSum/k)
+}
+
+// validateFlags rejects invalid flag values before any work starts; the
+// returned error names the offending flag. Kept separate from main so the
+// flag paths are regression-testable (see main_test.go).
+func validateFlags(trials, n, d, rounds, par, floodPar int) error {
+	switch {
+	case trials < 1:
+		return errors.New("-trials must be >= 1")
+	case n < 1:
+		return errors.New("-n must be >= 1")
+	case d < 0:
+		return errors.New("-d must be >= 0")
+	case rounds < 0:
+		return errors.New("-rounds must be >= 0")
+	case par < 0:
+		return errors.New("-par must be >= 0 (0 = all cores)")
+	case floodPar < 1:
+		return errors.New("-floodpar must be >= 1")
+	}
+	return nil
 }
 
 // usageError reports a bad flag value and exits with the conventional

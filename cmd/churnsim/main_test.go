@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+// TestValidateFlags pins the flag guard rails: invalid values are rejected
+// (main exits with the conventional usage status 2), -par keeps its
+// documented 0 = all-cores meaning, and -floodpar requires an explicit
+// positive shard count.
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name                                string
+		trials, n, d, rounds, par, floodPar int
+		wantErr                             bool
+	}{
+		{"defaults", 1, 10000, 35, 0, 0, 1, false},
+		{"trials on pool", 8, 5000, 3, 10, 4, 1, false},
+		{"sharded wiring", 1, 100000, 35, 0, 0, 8, false},
+		{"zero trials", 0, 10000, 35, 0, 0, 1, true},
+		{"zero n", 1, 0, 35, 0, 0, 1, true},
+		{"negative d", 1, 10000, -1, 0, 0, 1, true},
+		{"negative rounds", 1, 10000, 35, -5, 0, 1, true},
+		{"negative par", 1, 10000, 35, 0, -1, 1, true},
+		{"zero floodpar", 1, 10000, 35, 0, 0, 0, true},
+		{"negative floodpar", 1, 10000, 35, 0, 0, -2, true},
+	}
+	for _, c := range cases {
+		err := validateFlags(c.trials, c.n, c.d, c.rounds, c.par, c.floodPar)
+		if (err != nil) != c.wantErr {
+			t.Errorf("%s: validateFlags = %v, wantErr %v", c.name, err, c.wantErr)
+		}
+	}
+}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +29,7 @@ func main() {
 		async     = flag.Bool("async", false, "asynchronous semantics (Definition 4.2)")
 		traj      = flag.Bool("trajectory", false, "print per-round informed counts of trial 0")
 		fastWarm  = flag.Bool("fastwarmup", false, "sample the stationary snapshot directly instead of simulating warm-up")
+		floodPar  = flag.Int("floodpar", 1, "worker shards inside each broadcast (and each -fastwarmup snapshot fill); results are identical at any value")
 	)
 	flag.Parse()
 
@@ -36,15 +38,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "floodsim:", err)
 		os.Exit(2)
 	}
-	switch {
-	case *trials < 1:
-		usageError("-trials must be >= 1")
-	case *n < 1:
-		usageError("-n must be >= 1")
-	case *d < 0:
-		usageError("-d must be >= 0")
-	case *maxRounds < 0:
-		usageError("-max-rounds must be >= 0 (0 = default)")
+	if err := validateFlags(*trials, *n, *d, *maxRounds, *floodPar); err != nil {
+		usageError(err.Error())
 	}
 	mode := churnnet.Discretized
 	if *async {
@@ -56,11 +51,12 @@ func main() {
 	completed := 0
 	var rounds, fractions []float64
 	for trial := 0; trial < *trials; trial++ {
-		m := churnnet.NewReadyModel(kind, *n, *d, *seed+uint64(trial), *fastWarm)
+		m := churnnet.NewReadyModelPar(kind, *n, *d, *seed+uint64(trial), *fastWarm, *floodPar)
 		res := churnnet.Flood(m, churnnet.FloodOptions{
 			Mode:           mode,
 			MaxRounds:      *maxRounds,
 			KeepTrajectory: *traj && trial == 0,
+			Parallelism:    *floodPar,
 		})
 		if res.Completed {
 			completed++
@@ -93,6 +89,25 @@ func main() {
 		fmt.Println("\nno completion: in models without regeneration this is the expected")
 		fmt.Println("outcome at constant d (Lemma 3.5/4.10: isolated nodes persist).")
 	}
+}
+
+// validateFlags rejects invalid flag values before any work starts; the
+// returned error names the offending flag. Kept separate from main so the
+// flag paths are regression-testable (see main_test.go).
+func validateFlags(trials, n, d, maxRounds, floodPar int) error {
+	switch {
+	case trials < 1:
+		return errors.New("-trials must be >= 1")
+	case n < 1:
+		return errors.New("-n must be >= 1")
+	case d < 0:
+		return errors.New("-d must be >= 0")
+	case maxRounds < 0:
+		return errors.New("-max-rounds must be >= 0 (0 = default)")
+	case floodPar < 1:
+		return errors.New("-floodpar must be >= 1")
+	}
+	return nil
 }
 
 // usageError reports a bad flag value and exits with the conventional

@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+// TestValidateFlags pins the flag guard rails: every invalid value must be
+// rejected (main turns the error into a usage exit with status 2 — the
+// regression the `floodsim -trials 0` panic fix introduced), and valid
+// combinations must pass.
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name                              string
+		trials, n, d, maxRounds, floodPar int
+		wantErr                           bool
+	}{
+		{"defaults", 10, 10000, 21, 0, 1, false},
+		{"sharded", 10, 10000, 21, 50, 8, false},
+		{"zero trials", 0, 10000, 21, 0, 1, true},
+		{"negative trials", -3, 10000, 21, 0, 1, true},
+		{"zero n", 10, 0, 21, 0, 1, true},
+		{"negative d", 10, 10000, -1, 0, 1, true},
+		{"negative max-rounds", 10, 10000, 21, -1, 1, true},
+		{"zero floodpar", 10, 10000, 21, 0, 0, true},
+		{"negative floodpar", 10, 10000, 21, 0, -4, true},
+	}
+	for _, c := range cases {
+		err := validateFlags(c.trials, c.n, c.d, c.maxRounds, c.floodPar)
+		if (err != nil) != c.wantErr {
+			t.Errorf("%s: validateFlags = %v, wantErr %v", c.name, err, c.wantErr)
+		}
+	}
+}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -26,22 +27,12 @@ func main() {
 		gossip     = flag.Float64("gossip", 8, "ADDR gossip interval (time units)")
 		broadcasts = flag.Int("broadcasts", 10, "number of test broadcasts")
 		seed       = flag.Uint64("seed", 1, "deterministic seed")
+		floodPar   = flag.Int("floodpar", 1, "worker shards inside each broadcast; results are identical at any value")
 	)
 	flag.Parse()
 
-	switch {
-	case *n < 1:
-		usageError("-n must be >= 1")
-	case *d < 0:
-		usageError("-d must be >= 0")
-	case *maxIn < 0:
-		usageError("-maxin must be >= 0 (0 = unlimited)")
-	case *book < 1:
-		usageError("-book must be >= 1")
-	case *gossip <= 0:
-		usageError("-gossip must be > 0")
-	case *broadcasts < 0:
-		usageError("-broadcasts must be >= 0")
+	if err := validateFlags(*n, *d, *maxIn, *book, *gossip, *broadcasts, *floodPar); err != nil {
+		usageError(err.Error())
 	}
 
 	fmt.Printf("overlay: n=%d d=%d maxin=%d book=%d gossip=%.1f (seed %d)\n",
@@ -73,7 +64,7 @@ func main() {
 		for !g.IsAlive(ov.LastBorn()) {
 			ov.AdvanceRound()
 		}
-		res := churnnet.Flood(ov, churnnet.FloodOptions{})
+		res := churnnet.Flood(ov, churnnet.FloodOptions{Parallelism: *floodPar})
 		if res.Completed {
 			completed++
 			rounds = append(rounds, float64(res.CompletionRound))
@@ -85,6 +76,29 @@ func main() {
 		fmt.Printf("rounds           median %.0f, max %.0f\n",
 			rounds[len(rounds)/2], rounds[len(rounds)-1])
 	}
+}
+
+// validateFlags rejects invalid flag values before any work starts; the
+// returned error names the offending flag. Kept separate from main so the
+// flag paths are regression-testable (see main_test.go).
+func validateFlags(n, d, maxIn, book int, gossip float64, broadcasts, floodPar int) error {
+	switch {
+	case n < 1:
+		return errors.New("-n must be >= 1")
+	case d < 0:
+		return errors.New("-d must be >= 0")
+	case maxIn < 0:
+		return errors.New("-maxin must be >= 0 (0 = unlimited)")
+	case book < 1:
+		return errors.New("-book must be >= 1")
+	case gossip <= 0:
+		return errors.New("-gossip must be > 0")
+	case broadcasts < 0:
+		return errors.New("-broadcasts must be >= 0")
+	case floodPar < 1:
+		return errors.New("-floodpar must be >= 1")
+	}
+	return nil
 }
 
 // usageError reports a bad flag value and exits with the conventional

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+// TestValidateFlags pins the flag guard rails: invalid values are rejected
+// with the conventional usage exit, including the new -floodpar shard
+// count.
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name                 string
+		n, d, maxIn, book    int
+		gossip               float64
+		broadcasts, floodPar int
+		wantErr              bool
+	}{
+		{"defaults", 4000, 16, 0, 256, 8, 10, 1, false},
+		{"sharded broadcasts", 4000, 16, 128, 256, 8, 10, 4, false},
+		{"zero n", 0, 16, 0, 256, 8, 10, 1, true},
+		{"negative d", 4000, -1, 0, 256, 8, 10, 1, true},
+		{"negative maxin", 4000, 16, -1, 256, 8, 10, 1, true},
+		{"zero book", 4000, 16, 0, 0, 8, 10, 1, true},
+		{"zero gossip", 4000, 16, 0, 256, 0, 10, 1, true},
+		{"negative broadcasts", 4000, 16, 0, 256, 8, -1, 1, true},
+		{"zero floodpar", 4000, 16, 0, 256, 8, 10, 0, true},
+		{"negative floodpar", 4000, 16, 0, 256, 8, 10, -8, true},
+	}
+	for _, c := range cases {
+		err := validateFlags(c.n, c.d, c.maxIn, c.book, c.gossip, c.broadcasts, c.floodPar)
+		if (err != nil) != c.wantErr {
+			t.Errorf("%s: validateFlags = %v, wantErr %v", c.name, err, c.wantErr)
+		}
+	}
+}

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +36,7 @@ func main() {
 		par       = flag.Int("par", 0, "trial parallelism (0 = all cores, 1 = serial; output is identical either way)")
 		progress  = flag.Bool("progress", false, "report per-trial progress on stderr")
 		fastWarm  = flag.Bool("fastwarmup", false, "build trial models by direct stationary sampling instead of simulated warm-up (same distribution, different draw than the committed record)")
+		floodPar  = flag.Int("floodpar", 1, "worker shards inside each flooding run and -fastwarmup snapshot fill; output is identical at any value")
 	)
 	flag.Parse()
 
@@ -45,11 +47,15 @@ func main() {
 		return
 	}
 
+	if err := validateFlags(*par, *floodPar); err != nil {
+		fatal(err)
+	}
 	scale, err := churnnet.ParseScale(*scaleName)
 	if err != nil {
 		fatal(err)
 	}
-	cfg := churnnet.ExperimentConfig{Scale: scale, Seed: *seed, Parallelism: *par, FastWarmUp: *fastWarm}
+	cfg := churnnet.ExperimentConfig{Scale: scale, Seed: *seed, Parallelism: *par,
+		FastWarmUp: *fastWarm, FloodParallelism: *floodPar}
 
 	w := os.Stdout
 	if *out != "" {
@@ -180,12 +186,59 @@ snapshot directly (O(n·d); see DESIGN.md, "Stationary snapshot
 sampling") — statistically equivalent, a different deterministic draw,
 and ≥ 20× faster at n = 10⁶ per the committed BENCH_warmup.json.
 
+**Sharded flooding.** The ` + "`-floodpar W`" + ` flag shards the cut engine
+inside each single broadcast (and each ` + "`-fastwarmup`" + ` snapshot fill)
+across W per-slot-range workers. Output is bit-identical at every
+setting — the committed record keeps the default (serial), and the
+sweep lives in BENCH_floodpar.json (regenerated by
+` + "`go run ./cmd/benchjson -bench floodpar -scale large -reps 1`" + `; see
+DESIGN.md, "Sharded cut execution"). Every row of that record
+re-verifies Result equality between the serial and sharded engines, at
+n up to 10⁷.
+
+**Bounded degree at large n (the F22 row the suite cannot reach).** The
+F22 table above stops at suite-sized n; the committed
+BENCH_edgerate.json (` + "`go run ./cmd/benchjson -bench edgerate -scale large -reps 1`" + `,
+simulated warm-up — the policy variants have no
+closed-form stationary law) extends the bounded-degree comparison to
+n = 10⁶ through the cut engine's own event feed (PDGR dynamics, d = 20,
+inbound cap 2d = 40):
+
+| policy | n | OnEdge events / time unit | regen share | max regen burst | mean burst | flood on engine | completed |
+|---|---|---|---|---|---|---|---|
+| uniform | 100 000 | 40.1 | 51.8%% | 57 | 20.2 | 0.53 s | round 5 |
+| inbound cap 2d | 100 000 | 40.9 | 50.7%% | **40** (= cap) | 20.2 | 0.61 s | round 5 |
+| uniform | 1 000 000 | 40.5 | 49.0%% | 52 | 19.9 | 6.1 s | round 5 |
+| inbound cap 2d | 1 000 000 | 41.3 | 50.2%% | **40** (= cap) | 20.2 | 5.0 s | round 5 |
+
+The OnEdge rate the engine absorbs is Θ(d) per transmission time unit —
+*independent of n* — under both policies, so the bounded-degree variants
+ride the incremental engine unchanged at any scale; what the cap changes
+is the worst-case per-death regeneration burst (the dying node's live
+in-degree), pinned to the cap instead of growing as Θ(log n / log log n).
+Flooding on the capped network stays O(log n)-round complete, measured
+on the engine at n = 10⁶ — the Section 5 conjecture's behavior at three
+orders of magnitude beyond the F22 table.
+
 **Substitutions.** None. The paper is self-contained mathematics; every
 model, process and baseline is implemented directly (see DESIGN.md). The
 extension experiments F21–F24 test the paper's informal Section 1.1/5
 claims (overlay realism, bounded-degree dynamics, giant-component
 structure) rather than formal theorems.
 `
+
+// validateFlags rejects invalid flag values before any work starts; the
+// returned error names the offending flag. Kept separate from main so the
+// flag paths are regression-testable (see main_test.go).
+func validateFlags(par, floodPar int) error {
+	switch {
+	case par < 0:
+		return errors.New("-par must be >= 0 (0 = all cores)")
+	case floodPar < 1:
+		return errors.New("-floodpar must be >= 1")
+	}
+	return nil
+}
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "tablegen:", err)

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+// TestValidateFlags pins the flag guard rails tablegen previously lacked:
+// a negative -par was silently treated as all-cores; now both parallelism
+// flags are validated up front (main exits with status 2 on error).
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name          string
+		par, floodPar int
+		wantErr       bool
+	}{
+		{"defaults", 0, 1, false},
+		{"serial", 1, 1, false},
+		{"both parallel", 4, 8, false},
+		{"negative par", -1, 1, true},
+		{"zero floodpar", 0, 0, true},
+		{"negative floodpar", 0, -2, true},
+	}
+	for _, c := range cases {
+		err := validateFlags(c.par, c.floodPar)
+		if (err != nil) != c.wantErr {
+			t.Errorf("%s: validateFlags = %v, wantErr %v", c.name, err, c.wantErr)
+		}
+	}
+}

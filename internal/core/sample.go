@@ -65,14 +65,23 @@ import (
 // warmed model's state bit for bit, only its distribution. It panics if
 // n <= 0, d < 0, or kind is not one of the four dynamic models.
 func SampleStationary(kind Kind, n, d int, r *rng.RNG) Model {
+	return SampleStationaryPar(kind, n, d, r, 1)
+}
+
+// SampleStationaryPar is SampleStationary with the snapshot-wiring arena
+// fill (graph.WireSnapshotEdgesPar) sharded over `workers` goroutines.
+// The request-resolution draws stay serial — they consume the RNG — so
+// the sampled model is bit-for-bit identical at every worker count;
+// workers <= 1 is exactly SampleStationary.
+func SampleStationaryPar(kind Kind, n, d int, r *rng.RNG, workers int) Model {
 	switch kind {
 	case SDG, SDGR:
 		m := NewStreaming(n, d, kind.Regen(), r)
-		m.SampleStationary()
+		m.SampleStationaryPar(workers)
 		return m
 	case PDG, PDGR:
 		m := NewPoisson(n, d, kind.Regen(), r)
-		m.SampleStationary()
+		m.SampleStationaryPar(workers)
 		return m
 	default:
 		panic("core: SampleStationary of unknown model kind")
@@ -84,8 +93,16 @@ func SampleStationary(kind Kind, n, d int, r *rng.RNG) Model {
 // otherwise. It is the dispatch point behind the FastWarmUp knobs of
 // experiments.Config and the CLIs.
 func NewReadyModel(kind Kind, n, d int, r *rng.RNG, fastWarmUp bool) Model {
+	return NewReadyModelPar(kind, n, d, r, fastWarmUp, 1)
+}
+
+// NewReadyModelPar is NewReadyModel with the fast-warm-up snapshot wiring
+// sharded over `workers` goroutines (simulated warm-up is inherently
+// serial and ignores the knob). The built model is bit-for-bit identical
+// at every worker count.
+func NewReadyModelPar(kind Kind, n, d int, r *rng.RNG, fastWarmUp bool, workers int) Model {
 	if fastWarmUp {
-		return SampleStationary(kind, n, d, r)
+		return SampleStationaryPar(kind, n, d, r, workers)
 	}
 	m := New(kind, n, d, r)
 	WarmUp(m)
@@ -101,7 +118,12 @@ func NewReadyModel(kind Kind, n, d int, r *rng.RNG, fastWarmUp bool) Model {
 // the usual "after its requests" ordering cannot hold), then OnEdge fires
 // once per materialized request, grouped by owner in birth order. It
 // panics if the model has already been advanced or populated.
-func (m *Streaming) SampleStationary() {
+func (m *Streaming) SampleStationary() { m.SampleStationaryPar(1) }
+
+// SampleStationaryPar is SampleStationary with the bulk snapshot wiring
+// sharded over `workers` goroutines; the sampled model is bit-for-bit
+// identical at every worker count.
+func (m *Streaming) SampleStationaryPar(workers int) {
 	if m.g.NumAlive() != 0 || m.clock.Round() != 0 {
 		panic("core: SampleStationary requires a fresh model")
 	}
@@ -166,7 +188,7 @@ func (m *Streaming) SampleStationary() {
 		}
 		starts[i+1] = int32(len(targets))
 	}
-	m.g.WireSnapshotEdges(starts, targets)
+	m.g.WireSnapshotEdgesPar(starts, targets, workers)
 	fireEdgeHooks(m.hooks.OnEdge, byBirth, starts, targets)
 }
 
@@ -194,7 +216,12 @@ func fireEdgeHooks(onEdge func(u, v graph.Handle), byBirth []graph.Handle, start
 // sampler. It panics if the model has already been advanced or populated,
 // or if the model carries a non-plain DegreePolicy (the stationary law of
 // the bounded-degree variants has no closed form).
-func (m *Poisson) SampleStationary() {
+func (m *Poisson) SampleStationary() { m.SampleStationaryPar(1) }
+
+// SampleStationaryPar is SampleStationary with the bulk snapshot wiring
+// sharded over `workers` goroutines; the sampled model is bit-for-bit
+// identical at every worker count.
+func (m *Poisson) SampleStationaryPar(workers int) {
 	if m.g.NumAlive() != 0 || m.round != 0 || m.time != 0 || m.hasPending {
 		panic("core: SampleStationary requires a fresh model")
 	}
@@ -243,7 +270,7 @@ func (m *Poisson) SampleStationary() {
 		}
 		starts[i+1] = int32(len(targets))
 	}
-	m.g.WireSnapshotEdges(starts, targets)
+	m.g.WireSnapshotEdgesPar(starts, targets, workers)
 	fireEdgeHooks(m.hooks.OnEdge, handles, starts, targets)
 }
 

@@ -55,7 +55,7 @@ func runStaticBaseline(cfg Config) *report.Table {
 		p := expansion.Estimate(g, r, expCfg(cfg))
 		tr.ratio, tr.witness = p.Min()
 		m := core.NewStaticModel(g, j.d)
-		res := flood.Run(m, flood.Options{Source: hs[r.Intn(len(hs))]})
+		res := flood.Run(m, cfg.floodOpts(flood.Options{Source: hs[r.Intn(len(hs))]}))
 		tr.completed = res.Completed
 		tr.rounds = float64(res.CompletionRound)
 		return tr

@@ -32,6 +32,7 @@ import (
 	"sort"
 
 	"github.com/dyngraph/churnnet/internal/core"
+	"github.com/dyngraph/churnnet/internal/flood"
 	"github.com/dyngraph/churnnet/internal/report"
 	"github.com/dyngraph/churnnet/internal/rng"
 	"github.com/dyngraph/churnnet/internal/runner"
@@ -100,6 +101,21 @@ type Config struct {
 	// distributed — draw than the simulated warm-up produces, so the
 	// committed EXPERIMENTS.md record keeps the default (off).
 	FastWarmUp bool
+	// FloodParallelism shards the work *inside* each flooding run
+	// (flood.Options.Parallelism) and each fast-warm-up snapshot fill
+	// (graph.WireSnapshotEdgesPar) across this many workers. 0 or 1 keeps
+	// runs serial — the right setting whenever Parallelism already
+	// saturates the cores with concurrent trials; raise it instead when an
+	// experiment is dominated by few huge broadcasts. Results are
+	// bit-identical at every setting.
+	FloodParallelism int
+}
+
+// floodOpts stamps the intra-flood sharding knob onto a flood
+// configuration; every flood.Run in the suite goes through it.
+func (c Config) floodOpts(o flood.Options) flood.Options {
+	o.Parallelism = c.FloodParallelism
+	return o
 }
 
 // runnerCfg adapts the experiment knobs to the trial engine.
@@ -228,7 +244,8 @@ func RunAll(cfg Config) *report.Report {
 }
 
 // warm builds a measurement-ready model with a split RNG stream: simulated
-// warm-up by default, direct stationary sampling under cfg.FastWarmUp.
+// warm-up by default, direct stationary sampling under cfg.FastWarmUp
+// (with the snapshot fill sharded per cfg.FloodParallelism).
 func (c Config) warm(kind core.Kind, n, d int, r *rng.RNG) core.Model {
-	return core.NewReadyModel(kind, n, d, r, c.FastWarmUp)
+	return core.NewReadyModelPar(kind, n, d, r, c.FastWarmUp, c.FloodParallelism)
 }

@@ -89,7 +89,7 @@ func runOverlayRealism(cfg Config) *report.Table {
 		tr.isolated = analysis.IsolatedFraction(g)
 		p := expansion.Estimate(g, cfg.rng(salt^0xcccc), expCfg(cfg))
 		tr.ratio, _ = p.Min()
-		res := flood.Run(m, flood.Options{Source: freshSource(m)})
+		res := flood.Run(m, cfg.floodOpts(flood.Options{Source: freshSource(m)}))
 		tr.completed = res.Completed
 		tr.rounds = float64(res.CompletionRound)
 		return tr
@@ -183,7 +183,7 @@ func runBoundedDegree(cfg Config) *report.Table {
 		})
 		p := expansion.Estimate(g, cfg.rng(salt^0xdddd), expCfg(cfg))
 		tr.ratio, _ = p.Min()
-		res := flood.Run(m, flood.Options{})
+		res := flood.Run(m, cfg.floodOpts(flood.Options{}))
 		tr.completed = res.Completed
 		tr.rounds = float64(res.CompletionRound)
 		return tr
@@ -259,8 +259,8 @@ func runGiantComponent(cfg Config) *report.Table {
 		salt := uint64(uint8(j.kind))<<48 | uint64(j.dd)<<8 | uint64(j.trial)
 		m := cfg.warm(j.kind, n, j.dd, cfg.rng(salt))
 		cs := analysis.Components(m.Graph())
-		res := flood.Run(m, flood.Options{KeepTrajectory: true, RunToMax: true,
-			MaxRounds: flood.DefaultMaxRounds(n)})
+		res := flood.Run(m, cfg.floodOpts(flood.Options{KeepTrajectory: true, RunToMax: true,
+			MaxRounds: flood.DefaultMaxRounds(n)}))
 		return trialResult{cs: cs, informed: res.PeakFraction}
 	})
 

@@ -94,7 +94,7 @@ func runFloodingFailure(cfg Config) *report.Table {
 				m.AdvanceRound()
 			}
 			src := freshSource(m)
-			res := flood.Run(m, flood.Options{Source: src, MaxRounds: 8 * c.d * ilog2(n)})
+			res := flood.Run(m, cfg.floodOpts(flood.Options{Source: src, MaxRounds: 8 * c.d * ilog2(n)}))
 			if res.PeakInformed <= c.d+1 {
 				cr.stalled++
 			}
@@ -190,8 +190,8 @@ func runFloodingMost(cfg Config, kind core.Kind, expDiv float64) *report.Table {
 		target := 1 - math.Exp(-float64(j.d)/expDiv)
 		salt := uint64(uint8(kind))<<36 | uint64(j.n)<<8 | uint64(j.d)<<3 | uint64(j.trial)
 		m := cfg.warm(kind, j.n, j.d, cfg.rng(salt))
-		res := flood.Run(m, flood.Options{KeepTrajectory: true, RunToMax: true,
-			MaxRounds: flood.DefaultMaxRounds(j.n)})
+		res := flood.Run(m, cfg.floodOpts(flood.Options{KeepTrajectory: true, RunToMax: true,
+			MaxRounds: flood.DefaultMaxRounds(j.n)}))
 		return trialResult{final: res.PeakFraction, tau: roundsToFraction(res, target)}
 	})
 
@@ -262,7 +262,7 @@ func runFloodingLog(cfg Config, kind core.Kind, d int) *report.Table {
 		j := jobs[i]
 		salt := uint64(uint8(kind))<<36 | uint64(j.n)<<8 | uint64(j.trial)
 		m := cfg.warm(kind, j.n, d, cfg.rng(salt))
-		res := flood.Run(m, flood.Options{})
+		res := flood.Run(m, cfg.floodOpts(flood.Options{}))
 		return trialResult{res.Completed, float64(res.CompletionRound)}
 	})
 
@@ -333,7 +333,7 @@ func runRegenAblation(cfg Config) *report.Table {
 		j := jobs[i]
 		salt := uint64(uint8(j.kind))<<44 | uint64(j.d)<<6 | uint64(j.trial)
 		m := cfg.warm(j.kind, n, j.d, cfg.rng(salt))
-		res := flood.Run(m, flood.Options{})
+		res := flood.Run(m, cfg.floodOpts(flood.Options{}))
 		return trialResult{res.Completed, float64(res.CompletionRound),
 			math.Max(res.FinalFraction(), res.PeakFraction)}
 	})

@@ -64,7 +64,7 @@ func runTable1(cfg Config) *report.Table {
 		})
 		tr.hSmall, _ = p.MinInRange(1, g.NumAlive()/10)
 		tr.hLarge, _ = p.MinInRange(g.NumAlive()/10+1, g.NumAlive()/2)
-		res := flood.Run(m, flood.Options{})
+		res := flood.Run(m, cfg.floodOpts(flood.Options{}))
 		tr.completed = res.Completed
 		tr.rounds = float64(res.CompletionRound)
 		tr.finalFrac = math.Max(res.FinalFraction(), res.PeakFraction)

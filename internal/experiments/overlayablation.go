@@ -67,7 +67,7 @@ func runOverlayAblation(cfg Config) *report.Table {
 		var tr trialResult
 		tr.meanOut = analysis.Degrees(o.Graph()).MeanOut
 		tr.isolated = analysis.IsolatedFraction(o.Graph())
-		res := flood.Run(o, flood.Options{Source: freshSource(o)})
+		res := flood.Run(o, cfg.floodOpts(flood.Options{Source: freshSource(o)}))
 		tr.completed = res.Completed
 		tr.rounds = float64(res.CompletionRound)
 		return tr

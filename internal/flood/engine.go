@@ -1,6 +1,9 @@
 package flood
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"github.com/dyngraph/churnnet/internal/core"
 	"github.com/dyngraph/churnnet/internal/graph"
 )
@@ -36,16 +39,46 @@ import (
 // candidates exactly the live cut of the pre-advance snapshot — the same
 // pairs RunReference captures, so results match bit for bit (pinned by
 // TestEngineMatchesReference and the cut recompute check in engine_test.go).
+//
+// # Sharded execution (Options.Parallelism > 1)
+//
+// The cut is partitioned across par worker shards by arena slot: slot s
+// belongs to shard (s/shardBlock) mod par — a block-cyclic assignment that
+// never changes as the arena grows and spreads dense slot ranges across all
+// shards. Each shard owns the receiver bookkeeping of its slots (their
+// compacted sender lists, the receivers slice, the frozen lengths), and the
+// three O(cut)-sized passes of a round fan out across the shards:
+//
+//   - the frontier drain: workers claim contiguous frontier chunks, scan
+//     their neighborhoods, and stage each discovered (receiver, sender)
+//     pair in a per-(chunk, owner-shard) buffer; after the scan barrier,
+//     every shard drains the buffers addressed to it in chunk order;
+//   - the freeze/compaction pass: each shard compacts its own receivers;
+//   - the admission sweep: each shard collects its admitted receivers, and
+//     the collected lists are applied serially in shard order.
+//
+// The merge order — shards in index order, each shard's receivers in
+// (chunk, scan) insertion order — is deterministic at any scheduling, so a
+// run is reproducible at any fixed par. Results are moreover identical
+// *across* par settings, because every observable of a round is a function
+// of the frozen cut as a set: admission is an existence test over a
+// receiver's frozen senders and the Result fields are counts over admitted
+// sets, so the insertion order the sharding changes never surfaces (pinned
+// by the par sweep in TestEngineMatchesReference and by
+// TestFloodParallelismInvariance). Model advancement — and with it every
+// hook — stays strictly serial; parallel phases only read the snapshot
+// (graph reads are safe concurrently except for same-node in-list
+// compaction, and every frontier node is scanned by exactly one worker).
 type engine struct {
 	m    core.Model
 	g    *graph.Graph
 	opts Options
+	par  int // effective worker-shard count, >= 1
 
 	maxRounds int
 	src       graph.Handle
 
 	informed graph.Marks // ever-informed nodes (marks of dead handles are inert)
-	scan     graph.Marks // per-crossing receiver dedup scratch
 
 	// frontier holds nodes that crossed the cut but whose neighborhoods
 	// have not been scanned yet. Scanning is deferred to the next freeze:
@@ -57,10 +90,20 @@ type engine struct {
 	// needs only the informed marks (set eagerly).
 	frontier []graph.Handle
 
-	senders   [][]graph.Handle // per slot: informed senders adjacent to the tracked receiver
-	recvGen   []uint32         // per slot: generation the list belongs to; 0 = untracked
-	receivers []graph.Handle   // tracked (possibly stale) receivers; compacted at freeze
-	frozenLen []int            // per frozen receiver: sender-list length at freeze
+	// Global slot-indexed cut state. Under sharded execution the arrays
+	// are partitioned by slot ownership: only slot s's owner shard ever
+	// touches senders[s] or recvGen[s] during a parallel phase, and the
+	// arrays are pre-grown before fan-out (growth is forbidden inside).
+	senders [][]graph.Handle // per slot: informed senders adjacent to the tracked receiver
+	recvGen []uint32         // per slot: generation the list belongs to; 0 = untracked
+
+	shards []engineShard
+
+	// stage holds the parallel frontier drain's routing buffers: frontier
+	// chunk c stages the cut edges it discovers for shard s in
+	// stage[c*par+s]. Buffers are retained across rounds.
+	stage     [][]cutEdge
+	chunkNext atomic.Int64
 
 	informedAlive int    // informed ∧ alive — the reference's requiredInformed
 	preRoundAlive int    // alive ∧ born before the running round — the reference's required
@@ -68,11 +111,43 @@ type engine struct {
 
 	res Result
 
-	// onFreeze, when non-nil, observes the frozen cut (receivers[:nFrozen]
-	// with frozenLen) right before the model advances — test-only
-	// instrumentation for the recomputed-from-scratch cut comparison.
+	// onFreeze, when non-nil, observes the frozen cut (each shard's
+	// receivers[:nFrozen] with frozenLen) right before the model advances —
+	// test-only instrumentation for the recomputed-from-scratch cut
+	// comparison.
 	onFreeze func(nFrozen int)
 }
+
+// engineShard owns the receiver-side bookkeeping of the arena slots mapped
+// to it, plus its worker's scratch. With par == 1 a single shard owns
+// every slot and the engine runs the exact serial algorithm.
+type engineShard struct {
+	receivers []graph.Handle // tracked (possibly stale) receivers; compacted at freeze
+	frozenLen []int          // per frozen receiver: sender-list length at freeze
+	nFrozen   int            // receivers[:nFrozen] carry candidates this round
+	admitted  []graph.Handle // admission-sweep output, applied at the serial merge
+	scan      graph.Marks    // per-worker neighborhood-dedup scratch
+}
+
+// cutEdge stages one discovered candidate edge of the cut for its
+// receiver's owner shard.
+type cutEdge struct {
+	recv, sender graph.Handle
+}
+
+// shardBlock is the number of consecutive arena slots per ownership block:
+// slot s belongs to shard (s/shardBlock) mod par. Block-cyclic ownership
+// keeps the assignment stable as the arena grows (a slot never changes
+// owners) while spreading any dense slot range across all shards; the
+// block width keeps different shards' writes to the slot-indexed arrays a
+// few cache lines apart.
+const shardBlock = 64
+
+// scanChunksPerWorker over-decomposes the frontier scan: workers claim
+// chunks atomically, so a chunk of expensive neighborhoods does not
+// serialize the tail of the pass. Chunk-indexed staging keeps the merge
+// order independent of which worker claimed what.
+const scanChunksPerWorker = 4
 
 // runEngine is Run's fast path; see the engine type for the contract.
 func runEngine(m core.Model, opts Options) Result {
@@ -92,9 +167,22 @@ func newEngine(m core.Model, opts Options) *engine {
 	if maxRounds <= 0 {
 		maxRounds = DefaultMaxRounds(m.N())
 	}
-	e := &engine{m: m, g: g, opts: opts, maxRounds: maxRounds, src: src}
+	par := opts.Parallelism
+	if par < 1 {
+		par = 1
+	}
+	e := &engine{m: m, g: g, opts: opts, par: par, maxRounds: maxRounds, src: src}
+	e.shards = make([]engineShard, par)
 	e.growTo(g.NumSlots())
 	return e
+}
+
+// owner maps an arena slot to its shard index.
+func (e *engine) owner(slot uint32) int {
+	if e.par == 1 {
+		return 0
+	}
+	return int(slot/shardBlock) % e.par
 }
 
 func (e *engine) growTo(n int) {
@@ -109,15 +197,43 @@ func (e *engine) growTo(n int) {
 	e.recvGen = ng
 }
 
+// forEachShard runs fn once per shard index: inline for the serial engine,
+// on one goroutine per shard otherwise. Parallel phases must confine
+// writes to shard-owned state (or disjoint staging slots) — the barrier is
+// the only synchronization.
+func (e *engine) forEachShard(fn func(w int)) {
+	if e.par == 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(e.par)
+	for w := 0; w < e.par; w++ {
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
 // appendSender records s as an informed neighbor of the uninformed receiver
 // x, re-tagging the slot-indexed list when x is its first tracked owner (or
-// the slot's previous incarnation was dropped).
+// the slot's previous incarnation was dropped). Serial-context path: it may
+// grow the slot arrays (hooks fire during AdvanceRound, after births).
 func (e *engine) appendSender(x, s graph.Handle) {
 	e.growTo(int(x.Slot) + 1)
+	e.appendSenderShard(&e.shards[e.owner(x.Slot)], x, s)
+}
+
+// appendSenderShard is appendSender for the shard that owns x's slot; the
+// global arrays must already span it (parallel phases pre-grow and must
+// not reallocate).
+func (e *engine) appendSenderShard(sh *engineShard, x, s graph.Handle) {
 	if e.recvGen[x.Slot] != x.Gen {
 		e.senders[x.Slot] = e.senders[x.Slot][:0]
 		e.recvGen[x.Slot] = x.Gen
-		e.receivers = append(e.receivers, x)
+		sh.receivers = append(sh.receivers, x)
 	}
 	e.senders[x.Slot] = append(e.senders[x.Slot], s)
 }
@@ -145,15 +261,83 @@ func (e *engine) cross(v graph.Handle) {
 // multigraph parallel edges and the out+in double visit of Neighbors, so
 // each neighbor is appended at most once per crossing.
 func (e *engine) drainFrontier() {
-	for _, v := range e.frontier {
-		e.scan.Reset()
-		e.g.Neighbors(v, func(x graph.Handle) bool {
-			if !e.informed.Has(x) && e.scan.Mark(x) {
-				e.appendSender(x, v)
-			}
-			return true
-		})
+	if len(e.frontier) == 0 {
+		return
 	}
+	if e.par == 1 {
+		sh := &e.shards[0]
+		for _, v := range e.frontier {
+			sh.scan.Reset()
+			e.g.Neighbors(v, func(x graph.Handle) bool {
+				if !e.informed.Has(x) && sh.scan.Mark(x) {
+					e.appendSender(x, v)
+				}
+				return true
+			})
+		}
+		e.frontier = e.frontier[:0]
+		return
+	}
+	e.drainFrontierSharded()
+}
+
+// drainFrontierSharded fans the neighborhood scans out across the workers
+// in two barriered passes — scan into chunk-indexed staging buffers, then
+// shard-owned merge in chunk order — so the per-shard receiver insertion
+// order is a pure function of the frontier, not of scheduling.
+func (e *engine) drainFrontierSharded() {
+	// Parallel phases must not reallocate the slot arrays; every handle
+	// they touch lives in the current snapshot, so spanning the arena up
+	// front suffices.
+	e.growTo(e.g.NumSlots())
+	nFront := len(e.frontier)
+	nChunks := nFront
+	if max := e.par * scanChunksPerWorker; nChunks > max {
+		nChunks = max
+	}
+	if need := nChunks * e.par; len(e.stage) < need {
+		grown := make([][]cutEdge, need)
+		copy(grown, e.stage)
+		e.stage = grown
+	}
+
+	// Scan: each claimed chunk walks its frontier nodes' neighborhoods
+	// and stages every discovered cut edge for its receiver's owner.
+	// Scanned nodes are distinct, so the in-list compaction side effect of
+	// graph.Neighbors stays confined to the scanned node.
+	e.chunkNext.Store(0)
+	e.forEachShard(func(w int) {
+		scratch := &e.shards[w].scan
+		for {
+			c := int(e.chunkNext.Add(1)) - 1
+			if c >= nChunks {
+				return
+			}
+			buf := e.stage[c*e.par : (c+1)*e.par]
+			for _, v := range e.frontier[c*nFront/nChunks : (c+1)*nFront/nChunks] {
+				scratch.Reset()
+				e.g.Neighbors(v, func(x graph.Handle) bool {
+					if !e.informed.Has(x) && scratch.Mark(x) {
+						s := e.owner(x.Slot)
+						buf[s] = append(buf[s], cutEdge{recv: x, sender: v})
+					}
+					return true
+				})
+			}
+		}
+	})
+
+	// Merge: each shard drains the buffers addressed to it in chunk order.
+	e.forEachShard(func(w int) {
+		sh := &e.shards[w]
+		for c := 0; c < nChunks; c++ {
+			buf := e.stage[c*e.par+w]
+			for _, ce := range buf {
+				e.appendSenderShard(sh, ce.recv, ce.sender)
+			}
+			e.stage[c*e.par+w] = buf[:0]
+		}
+	})
 	e.frontier = e.frontier[:0]
 }
 
@@ -192,13 +376,24 @@ func (e *engine) noteEdge(u, v graph.Handle) {
 // dead or informed receivers are dropped, dead senders are compacted out of
 // the surviving lists, and the per-receiver list lengths are recorded so
 // edges created during the upcoming advance are excluded from this round's
-// admission.
+// admission. Drain and compaction fan out across the shards.
 func (e *engine) freeze() int {
 	e.drainFrontier()
+	e.forEachShard(func(w int) { e.shards[w].compact(e) })
+	n := 0
+	for i := range e.shards {
+		n += e.shards[i].nFrozen
+	}
+	return n
+}
+
+// compact is the freeze pass over one shard's receivers; it touches only
+// shard-owned slots, so shards compact concurrently.
+func (sh *engineShard) compact(e *engine) {
 	g := e.g
 	n := 0
-	e.frozenLen = e.frozenLen[:0]
-	for _, v := range e.receivers {
+	sh.frozenLen = sh.frozenLen[:0]
+	for _, v := range sh.receivers {
 		if !g.IsAlive(v) || e.informed.Has(v) {
 			e.untrack(v)
 			continue
@@ -216,12 +411,38 @@ func (e *engine) freeze() int {
 			e.recvGen[v.Slot] = 0
 			continue
 		}
-		e.receivers[n] = v
-		e.frozenLen = append(e.frozenLen, w)
+		sh.receivers[n] = v
+		sh.frozenLen = append(sh.frozenLen, w)
 		n++
 	}
-	e.receivers = e.receivers[:n]
-	return n
+	sh.receivers = sh.receivers[:n]
+	sh.nFrozen = n
+}
+
+// admitFrozen runs the admission test over one shard's frozen receivers
+// and collects the admitted ones; the serial merge applies them. The pass
+// only reads the snapshot, the informed marks and shard-owned state, so
+// shards sweep concurrently, and the outcome per receiver is an existence
+// test over its frozen senders — independent of every iteration order.
+func (sh *engineShard) admitFrozen(e *engine) {
+	g := e.g
+	sh.admitted = sh.admitted[:0]
+	for i := 0; i < sh.nFrozen; i++ {
+		v := sh.receivers[i]
+		if !g.IsAlive(v) || e.informed.Has(v) {
+			continue
+		}
+		admit := false
+		for _, s := range e.senders[v.Slot][:sh.frozenLen[i]] {
+			if e.opts.Mode == Asynchronous || g.IsAlive(s) {
+				admit = true
+				break
+			}
+		}
+		if admit {
+			sh.admitted = append(sh.admitted, v)
+		}
+	}
 }
 
 func (e *engine) run() Result {
@@ -278,20 +499,12 @@ func (e *engine) run() Result {
 		// Admission over the frozen candidates: a receiver still alive is
 		// informed when some frozen sender qualifies — any of them under
 		// Asynchronous semantics (the edge existed in the previous
-		// snapshot), a still-alive one under Discretized.
-		for i := 0; i < nFrozen; i++ {
-			v := e.receivers[i]
-			if !g.IsAlive(v) || e.informed.Has(v) {
-				continue
-			}
-			admit := false
-			for _, s := range e.senders[v.Slot][:e.frozenLen[i]] {
-				if e.opts.Mode == Asynchronous || g.IsAlive(s) {
-					admit = true
-					break
-				}
-			}
-			if admit {
+		// snapshot), a still-alive one under Discretized. Shards sweep
+		// their own receivers; crossings apply at the serial merge, in
+		// shard order.
+		e.forEachShard(func(w int) { e.shards[w].admitFrozen(e) })
+		for i := range e.shards {
+			for _, v := range e.shards[i].admitted {
 				res.EverInformed++
 				e.informedAlive++
 				e.cross(v)

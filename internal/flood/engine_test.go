@@ -2,6 +2,7 @@ package flood
 
 import (
 	"reflect"
+	"runtime"
 	"testing"
 
 	"github.com/dyngraph/churnnet/internal/core"
@@ -11,11 +12,19 @@ import (
 	"github.com/dyngraph/churnnet/internal/staticgraph"
 )
 
+// testPars sweeps the sharded-execution settings the equivalence tests
+// pin: serial, two intermediate shard counts, and the machine's core
+// count. Duplicates are fine (GOMAXPROCS may be 1, 2 or 4).
+func testPars() []int {
+	return []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+}
+
 // TestEngineMatchesReference pins the equivalence contract: the cut-set
-// engine and the full-rescan reference produce bit-for-bit identical
-// Results on every model × mode across seeded trials. Two identically
-// seeded models see identical churn streams (flooding consumes no
-// randomness), so any divergence is an engine bookkeeping bug.
+// engine — serial and at every sharded worker count — and the full-rescan
+// reference produce bit-for-bit identical Results on every model × mode
+// across seeded trials. Identically seeded models see identical churn
+// streams (flooding consumes no randomness), so any divergence is an
+// engine bookkeeping bug.
 func TestEngineMatchesReference(t *testing.T) {
 	modes := []Mode{Discretized, Asynchronous}
 	for _, kind := range core.Kinds() {
@@ -33,21 +42,25 @@ func TestEngineMatchesReference(t *testing.T) {
 						RunToMax:       seed%2 == 0,
 					}
 
-					mEng := core.New(kind, n, d, rng.New(seed))
-					mRef := core.New(kind, n, d, rng.New(seed))
-					core.WarmUp(mEng)
-					core.WarmUp(mRef)
-					for !mEng.Graph().IsAlive(mEng.LastBorn()) {
-						mEng.AdvanceRound()
-						mRef.AdvanceRound()
+					build := func() core.Model {
+						m := core.New(kind, n, d, rng.New(seed))
+						core.WarmUp(m)
+						for !m.Graph().IsAlive(m.LastBorn()) {
+							m.AdvanceRound()
+						}
+						return m
 					}
-					opts.Source = mEng.LastBorn()
-
-					got := runEngine(mEng, opts)
+					mRef := build()
+					opts.Source = mRef.LastBorn()
 					want := RunReference(mRef, opts)
-					if !reflect.DeepEqual(got, want) {
-						t.Fatalf("seed %d (n=%d d=%d): engine and reference diverged\nengine:    %+v\nreference: %+v",
-							seed, n, d, got, want)
+
+					for _, par := range testPars() {
+						opts.Parallelism = par
+						got := runEngine(build(), opts)
+						if !reflect.DeepEqual(got, want) {
+							t.Fatalf("seed %d (n=%d d=%d par=%d): engine and reference diverged\nengine:    %+v\nreference: %+v",
+								seed, n, d, par, got, want)
+						}
 					}
 				}
 			})
@@ -114,12 +127,13 @@ func TestEngineCutMatchesRecompute(t *testing.T) {
 		kind core.Kind
 		n, d int
 		mode Mode
+		par  int
 	}{
-		{core.PDGR, 120, 6, Discretized},
-		{core.PDGR, 120, 3, Asynchronous},
-		{core.PDG, 150, 4, Discretized},
-		{core.SDGR, 100, 5, Discretized},
-		{core.SDG, 100, 3, Asynchronous},
+		{core.PDGR, 120, 6, Discretized, 1},
+		{core.PDGR, 120, 3, Asynchronous, 4},
+		{core.PDG, 150, 4, Discretized, 2},
+		{core.SDGR, 100, 5, Discretized, 4},
+		{core.SDG, 100, 3, Asynchronous, 1},
 	}
 	for _, c := range cases {
 		c := c
@@ -132,8 +146,9 @@ func TestEngineCutMatchesRecompute(t *testing.T) {
 					m.AdvanceRound()
 				}
 				e := newEngine(m, Options{
-					Source: m.LastBorn(),
-					Mode:   c.mode,
+					Source:      m.LastBorn(),
+					Mode:        c.mode,
+					Parallelism: c.par,
 					// A horizon well past completion keeps churning the
 					// informed network, exercising slot reuse and
 					// regeneration against a saturated cut.
@@ -184,22 +199,33 @@ func checkFrozenCut(t *testing.T, e *engine, nFrozen int, seed uint64, round int
 	})
 
 	got := map[graph.Handle]map[graph.Handle]bool{}
-	for i := 0; i < nFrozen; i++ {
-		v := e.receivers[i]
-		if _, dup := got[v]; dup {
-			t.Fatalf("seed %d round %d: receiver %v frozen twice", seed, round, v)
-		}
-		if !g.IsAlive(v) || e.informed.Has(v) {
-			t.Fatalf("seed %d round %d: frozen receiver %v is dead or informed", seed, round, v)
-		}
-		set := map[graph.Handle]bool{}
-		for _, s := range e.senders[v.Slot][:e.frozenLen[i]] {
-			if !g.IsAlive(s) || !e.informed.Has(s) {
-				t.Fatalf("seed %d round %d: frozen sender %v of %v is dead or uninformed", seed, round, s, v)
+	total := 0
+	for si := range e.shards {
+		sh := &e.shards[si]
+		total += sh.nFrozen
+		for i := 0; i < sh.nFrozen; i++ {
+			v := sh.receivers[i]
+			if want := e.owner(v.Slot); want != si {
+				t.Fatalf("seed %d round %d: receiver %v frozen in shard %d, owner is %d", seed, round, v, si, want)
 			}
-			set[s] = true
+			if _, dup := got[v]; dup {
+				t.Fatalf("seed %d round %d: receiver %v frozen twice", seed, round, v)
+			}
+			if !g.IsAlive(v) || e.informed.Has(v) {
+				t.Fatalf("seed %d round %d: frozen receiver %v is dead or informed", seed, round, v)
+			}
+			set := map[graph.Handle]bool{}
+			for _, s := range e.senders[v.Slot][:sh.frozenLen[i]] {
+				if !g.IsAlive(s) || !e.informed.Has(s) {
+					t.Fatalf("seed %d round %d: frozen sender %v of %v is dead or uninformed", seed, round, s, v)
+				}
+				set[s] = true
+			}
+			got[v] = set
 		}
-		got[v] = set
+	}
+	if total != nFrozen {
+		t.Fatalf("seed %d round %d: shards froze %d receivers, freeze reported %d", seed, round, total, nFrozen)
 	}
 
 	if len(got) != len(want) {
@@ -240,6 +266,7 @@ func TestEngineOverlayMatchesReference(t *testing.T) {
 			MaxRounds:      25,
 			KeepTrajectory: true,
 			RunToMax:       seed%2 == 0,
+			Parallelism:    int(seed) * 2, // 0 (serial), 2, 4
 		}
 		got := runEngine(mEng, opts)
 		want := RunReference(mRef, opts)
@@ -257,7 +284,8 @@ func TestEngineStaticMatchesReference(t *testing.T) {
 	for seed := uint64(0); seed < 3; seed++ {
 		gEng, hs := staticgraph.DOut(400, 5, rng.New(seed))
 		gRef, _ := staticgraph.DOut(400, 5, rng.New(seed))
-		opts := Options{Source: hs[0], MaxRounds: 30, KeepTrajectory: true}
+		opts := Options{Source: hs[0], MaxRounds: 30, KeepTrajectory: true,
+			Parallelism: int(seed) * 3} // 0 (serial), 3, 6
 		got := runEngine(core.NewStaticModel(gEng, 5), opts)
 		want := RunReference(core.NewStaticModel(gRef, 5), opts)
 		if !reflect.DeepEqual(got, want) {

@@ -75,6 +75,17 @@ type Options struct {
 	// RunToMax keeps flooding after completion (useful when measuring
 	// strict completion or re-flooding of newborns).
 	RunToMax bool
+	// Parallelism is the number of cut-worker shards the incremental
+	// engine uses inside this one flooding run: the candidate cut is
+	// partitioned by arena slot range, and the frontier drain, the
+	// freeze/compaction pass and the admission sweep fan out across the
+	// shards (see engine.go, "Sharded execution"). 0 or 1 runs the serial
+	// engine. Results are bit-for-bit identical at every setting — the
+	// knob trades goroutine overhead for multi-core wall clock within a
+	// single broadcast, complementing the trial-level parallelism of
+	// internal/runner (use one or the other; they compose
+	// multiplicatively). RunReference ignores it.
+	Parallelism int
 }
 
 // DefaultMaxRounds returns the default round cap for a network of nominal

@@ -1,6 +1,7 @@
 package flood
 
 import (
+	"runtime"
 	"testing"
 
 	"github.com/dyngraph/churnnet/internal/core"
@@ -341,6 +342,18 @@ func BenchmarkFloodEngineSDGRWindow(b *testing.B) {
 
 func BenchmarkFloodReferenceSDGRWindow(b *testing.B) {
 	benchImpl(b, RunReference, Options{MaxRounds: 60, RunToMax: true})
+}
+
+// The sharded-engine variants time the same workloads at
+// Options.Parallelism = GOMAXPROCS; on a single-core box they measure
+// the sharding overhead (BENCH_floodpar.json carries the swept record).
+
+func BenchmarkFloodEngineSDGRCompleteSharded(b *testing.B) {
+	benchImpl(b, Run, Options{Parallelism: runtime.GOMAXPROCS(0)})
+}
+
+func BenchmarkFloodEngineSDGRWindowSharded(b *testing.B) {
+	benchImpl(b, Run, Options{MaxRounds: 60, RunToMax: true, Parallelism: runtime.GOMAXPROCS(0)})
 }
 
 func BenchmarkFloodStatic(b *testing.B) {

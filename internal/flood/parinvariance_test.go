@@ -1,0 +1,55 @@
+package flood
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"github.com/dyngraph/churnnet/internal/core"
+	"github.com/dyngraph/churnnet/internal/rng"
+)
+
+// TestFloodParallelismInvariance pins the sharded engine's determinism
+// contract one layer below PR 1's trial-level invariance suite: a single
+// flood.Run from a core.SampleStationary snapshot returns a bit-for-bit
+// identical Result at every Options.Parallelism setting. Sampling is
+// deterministic given the seed, so each setting floods an identical model
+// with an identical residual RNG stream; the only varying input is the
+// shard count, which must never surface in the Result.
+func TestFloodParallelismInvariance(t *testing.T) {
+	pars := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, kind := range core.Kinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			for seed := uint64(0); seed < 6; seed++ {
+				n := 150 + int(seed%3)*100
+				d := 3 + int(seed%7)
+				opts := Options{
+					MaxRounds:      25,
+					KeepTrajectory: true,
+					RunToMax:       seed%2 == 0,
+				}
+				if seed%3 == 1 {
+					opts.Mode = Asynchronous
+				}
+
+				var want Result
+				for i, par := range pars {
+					m := core.SampleStationary(kind, n, d, rng.New(seed))
+					opts.Source = m.LastBorn()
+					opts.Parallelism = par
+					got := Run(m, opts)
+					if i == 0 {
+						want = got
+						continue
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("seed %d (n=%d d=%d): par %d diverged from par %d\npar %d: %+v\npar %d: %+v",
+							seed, n, d, par, pars[0], par, got, pars[0], want)
+					}
+				}
+			}
+		})
+	}
+}

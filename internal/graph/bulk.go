@@ -1,6 +1,10 @@
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
 
 // WireSnapshotEdges bulk-installs request edges into a freshly built
 // snapshot. The graph must have been constructed by AddNode calls alone:
@@ -26,6 +30,22 @@ import "fmt"
 // It panics if the graph is not a fresh snapshot, the spec shape is
 // inconsistent, or any target is out of range or equal to its owner.
 func (g *Graph) WireSnapshotEdges(starts []int32, targets []uint32) {
+	g.WireSnapshotEdgesPar(starts, targets, 1)
+}
+
+// WireSnapshotEdgesPar is WireSnapshotEdges with the two counting-sort
+// arena passes sharded over `workers` goroutines by slot range — the same
+// per-slot-range idiom the flooding engine uses for its cut. The out pass
+// splits the owner slots into contiguous ranges of roughly equal edge
+// count; each worker fills its owners' out segments while histogramming
+// target slots into a private count row. Stacking the rows per target
+// (worker w's edges into slot t land at inStart[t] + Σ_{w'<w} counts[w'][t])
+// turns them into exact disjoint cursors for the in pass, so the filled
+// arenas — including the in-list order within every node — are bit-for-bit
+// what the serial pass builds, at any worker count (pinned by
+// TestWireSnapshotEdgesParMatchesSerial). workers <= 1 runs serially; the
+// sharded path costs ~4·workers·NumSlots() bytes of transient count rows.
+func (g *Graph) WireSnapshotEdgesPar(starts []int32, targets []uint32, workers int) {
 	nSlots := len(g.nodes)
 	if len(starts) != nSlots+1 {
 		panic("graph: WireSnapshotEdges starts must have NumSlots()+1 entries")
@@ -38,19 +58,31 @@ func (g *Graph) WireSnapshotEdges(starts []int32, targets []uint32) {
 		if nd.gen != 1 || len(nd.out) != 0 || len(nd.in) != 0 {
 			panic("graph: WireSnapshotEdges requires generation-1 nodes with no edges")
 		}
+		if starts[s+1] < starts[s] {
+			panic("graph: WireSnapshotEdges starts must be non-decreasing")
+		}
 	}
 	if starts[0] != 0 || int(starts[nSlots]) != len(targets) {
 		panic("graph: WireSnapshotEdges starts must cover targets exactly")
 	}
+	if workers > nSlots {
+		workers = nSlots
+	}
+	if workers <= 1 {
+		g.wireSerial(starts, targets)
+		return
+	}
+	g.wireSharded(starts, targets, workers)
+}
 
+// wireSerial is the single-threaded arena fill.
+func (g *Graph) wireSerial(starts []int32, targets []uint32) {
+	nSlots := len(g.nodes)
 	nEdges := len(targets)
 	outArena := make([]Handle, nEdges)
 	inDeg := make([]int32, nSlots)
 	for s := 0; s < nSlots; s++ {
 		a, b := starts[s], starts[s+1]
-		if b < a {
-			panic("graph: WireSnapshotEdges starts must be non-decreasing")
-		}
 		seg := outArena[a:b:b]
 		for k, t := range targets[a:b] {
 			if int(t) >= nSlots || int(t) == s {
@@ -85,4 +117,117 @@ func (g *Graph) WireSnapshotEdges(starts []int32, targets []uint32) {
 			g.nodes[s].in = inArena[a:b:b]
 		}
 	}
+}
+
+// wireSharded is the parallel arena fill; see WireSnapshotEdgesPar for the
+// algorithm. Every pass writes disjoint index ranges (owner segments, one
+// count/cursor row per worker, stacked in-arena cursors), so the phase
+// barriers are the only synchronization.
+func (g *Graph) wireSharded(starts []int32, targets []uint32, workers int) {
+	nSlots := len(g.nodes)
+	nEdges := len(targets)
+
+	// Owner ranges balanced by edge count (degrees may be skewed), and
+	// even target ranges for the per-target passes.
+	ob := make([]int, workers+1)
+	ob[workers] = nSlots
+	for w := 1; w < workers; w++ {
+		quota := int32(uint64(nEdges) * uint64(w) / uint64(workers))
+		ob[w] = sort.Search(nSlots, func(s int) bool { return starts[s] >= quota })
+	}
+	tb := make([]int, workers+1)
+	for w := 0; w <= workers; w++ {
+		tb[w] = nSlots * w / workers
+	}
+	runRanges := func(fn func(w int)) {
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				fn(w)
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	// Out pass: fill owner segments, histogram targets per worker. Target
+	// validation happens here (first sight of every edge); errors are
+	// collected per worker and re-raised deterministically — lowest owner
+	// range first, matching the serial scan order.
+	outArena := make([]Handle, nEdges)
+	counts := make([]int32, workers*nSlots)
+	errs := make([]error, workers)
+	runRanges(func(w int) {
+		cnt := counts[w*nSlots : (w+1)*nSlots]
+		for s := ob[w]; s < ob[w+1]; s++ {
+			a, b := starts[s], starts[s+1]
+			seg := outArena[a:b:b]
+			for k, t := range targets[a:b] {
+				if int(t) >= nSlots || int(t) == s {
+					errs[w] = fmt.Errorf("graph: WireSnapshotEdges target %d of slot %d invalid", t, s)
+					return
+				}
+				seg[k] = Handle{Slot: t, Gen: 1}
+				cnt[t]++
+			}
+			g.nodes[s].out = seg
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			panic(err.Error())
+		}
+	}
+
+	// Cursor pass: per-target totals, serial prefix sum, then stack the
+	// count rows into each worker's private cursor row.
+	inStart := make([]int32, nSlots+1)
+	runRanges(func(w int) {
+		for t := tb[w]; t < tb[w+1]; t++ {
+			var sum int32
+			for ww := 0; ww < workers; ww++ {
+				sum += counts[ww*nSlots+t]
+			}
+			inStart[t+1] = sum
+		}
+	})
+	for t := 0; t < nSlots; t++ {
+		inStart[t+1] += inStart[t]
+	}
+	runRanges(func(w int) {
+		for t := tb[w]; t < tb[w+1]; t++ {
+			run := inStart[t]
+			for ww := 0; ww < workers; ww++ {
+				idx := ww*nSlots + t
+				c := counts[idx]
+				counts[idx] = run
+				run += c
+			}
+		}
+	})
+
+	// In pass: every worker drops its owners' in-refs at its own cursors.
+	// Owner ranges ascend with worker index, so each target's segment ends
+	// up in global owner order — the serial layout.
+	inArena := make([]inRef, nEdges)
+	runRanges(func(w int) {
+		cur := counts[w*nSlots : (w+1)*nSlots]
+		for s := ob[w]; s < ob[w+1]; s++ {
+			src := Handle{Slot: uint32(s), Gen: 1}
+			for k, t := range targets[starts[s]:starts[s+1]] {
+				c := cur[t]
+				inArena[c] = inRef{src: src, slot: uint32(k)}
+				cur[t] = c + 1
+			}
+		}
+	})
+	runRanges(func(w int) {
+		for t := tb[w]; t < tb[w+1]; t++ {
+			a, b := inStart[t], inStart[t+1]
+			if a != b {
+				g.nodes[t].in = inArena[a:b:b]
+			}
+		}
+	})
 }

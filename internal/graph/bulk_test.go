@@ -84,6 +84,85 @@ func TestWireSnapshotEdgesMatchesAddOutEdge(t *testing.T) {
 	}
 }
 
+// TestWireSnapshotEdgesParMatchesSerial pins the sharded arena fill
+// against the serial one: at every worker count the two must build graphs
+// that agree on every adjacency observable, including the in-list order
+// within each node (the sharded cursors stack per target in owner order,
+// reproducing the serial layout bit for bit).
+func TestWireSnapshotEdgesParMatchesSerial(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 64, 65, 200, 20000} {
+		for _, workers := range []int{2, 3, 4, 8, 19} {
+			starts, targets := buildSpec(n, 5, rng.New(uint64(n)))
+
+			par, ph := freshNodes(n)
+			par.WireSnapshotEdgesPar(starts, targets, workers)
+
+			ser, sh := freshNodes(n)
+			ser.WireSnapshotEdges(starts, targets)
+
+			if err := par.CheckInvariants(); err != nil {
+				t.Fatalf("n=%d workers=%d: invariants: %v", n, workers, err)
+			}
+			for s := 0; s < n; s++ {
+				hp, hs := ph[s], sh[s]
+				if par.OutSlotCount(hp) != ser.OutSlotCount(hs) {
+					t.Fatalf("n=%d workers=%d slot %d: out-slot count differs", n, workers, s)
+				}
+				var op, os []uint32
+				par.OutTargets(hp, func(h Handle) bool { op = append(op, h.Slot); return true })
+				ser.OutTargets(hs, func(h Handle) bool { os = append(os, h.Slot); return true })
+				if len(op) != len(os) {
+					t.Fatalf("n=%d workers=%d slot %d: out degree differs", n, workers, s)
+				}
+				for i := range op {
+					if op[i] != os[i] {
+						t.Fatalf("n=%d workers=%d slot %d: out target %d differs", n, workers, s, i)
+					}
+				}
+				op, os = op[:0], os[:0]
+				par.InSources(hp, func(h Handle) bool { op = append(op, h.Slot); return true })
+				ser.InSources(hs, func(h Handle) bool { os = append(os, h.Slot); return true })
+				if len(op) != len(os) {
+					t.Fatalf("n=%d workers=%d slot %d: in-list length differs", n, workers, s)
+				}
+				for i := range op {
+					if op[i] != os[i] {
+						t.Fatalf("n=%d workers=%d slot %d: in source %d differs (order)", n, workers, s, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWireSnapshotEdgesParPanics pins the sharded path's guard rails: the
+// spec validation and the in-pass target checks must reject exactly what
+// the serial path rejects, with the panic raised from the caller's
+// goroutine.
+func TestWireSnapshotEdgesParPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("self target", func() {
+		g, _ := freshNodes(8)
+		g.WireSnapshotEdgesPar([]int32{0, 1, 1, 1, 1, 1, 1, 1, 1}, []uint32{0}, 4)
+	})
+	expectPanic("target out of range", func() {
+		g, _ := freshNodes(8)
+		g.WireSnapshotEdgesPar([]int32{0, 1, 1, 1, 1, 1, 1, 1, 1}, []uint32{99}, 4)
+	})
+	expectPanic("decreasing starts", func() {
+		g, _ := freshNodes(3)
+		g.WireSnapshotEdgesPar([]int32{0, 1, 0, 1}, []uint32{1}, 2)
+	})
+}
+
 // TestWireSnapshotEdgesThenMutate checks the arena stays safe under the
 // full mutation surface afterwards: redirects write in place, appends to a
 // capacity-clamped in-list must reallocate rather than spill into the next
