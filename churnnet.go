@@ -170,6 +170,18 @@ const (
 	Asynchronous = flood.Asynchronous
 )
 
+// FloodAuto, assigned to FloodOptions.Parallelism or passed as the worker
+// count of NewReadyModelPar / NewStationaryModelPar, selects the automatic
+// parallelism policy: the shard count is picked from GOMAXPROCS and the
+// structure size (AutoParallelism). Results are bit-for-bit identical at
+// every setting; the cmds' -floodpar 0 maps here.
+const FloodAuto = flood.Auto
+
+// AutoParallelism returns the worker-shard count the FloodAuto policy
+// resolves to for a structure of roughly n nodes: one shard per 32Ki
+// slots, clamped to [1, GOMAXPROCS].
+func AutoParallelism(n int) int { return flood.AutoParallelism(n) }
+
 // Flood broadcasts from opts.Source (default: the newest node) over m.
 //
 // All built-in models emit edge-level events, so Flood runs the
@@ -204,6 +216,40 @@ func ExactExpansion(g *Graph) (float64, []Handle) { return expansion.Exact(g) }
 
 // BoundarySize returns |∂out(S)| for a node set.
 func BoundarySize(g *Graph, set []Handle) int { return expansion.BoundarySize(g, set) }
+
+// ExpansionTracker is the incremental expansion-witness engine: it rides
+// a model's OnEdge/OnDeath event stream (the same contract the flooding
+// engine uses) and maintains |S|, |∂out(S)| and the ratio of a family of
+// tracked witness sets under churn in O(events), instead of the O(n·d)
+// per-snapshot rescan of EstimateExpansion. Its numbers are bit-for-bit
+// what fresh BoundarySize rescans of the same sets would compute — pinned
+// by the rescan-oracle suite in internal/expansion — and bit-for-bit
+// invariant across its worker-shard counts. See DESIGN.md, "Incremental
+// expansion tracking".
+type ExpansionTracker = expansion.Tracker
+
+// ExpansionTrackerConfig tunes the tracked witness families, the re-seed
+// cadence and the flush-plane parallelism.
+type ExpansionTrackerConfig = expansion.TrackerConfig
+
+// ExpansionObservation is one time-resolved expansion measurement.
+type ExpansionObservation = expansion.Observation
+
+// ExpansionSetState reports one tracked set (ExpansionTracker.Sets).
+type ExpansionSetState = expansion.SetState
+
+// WitnessFamily identifies the candidate family a tracked set came from.
+type WitnessFamily = expansion.Family
+
+// TrackExpansion attaches an ExpansionTracker to m, seeded from the
+// current snapshot: advance the model, call Observe for time-resolved
+// h_out upper bounds, and Close to release the hook chain. The tracker
+// chains onto existing hooks, and Flood may run over a tracked model —
+// both observers share the event stream. It panics if the model does not
+// implement the edge-event contract (all built-in models do).
+func TrackExpansion(m Model, seed uint64, cfg ExpansionTrackerConfig) *ExpansionTracker {
+	return expansion.NewTracker(m, rng.New(seed), cfg)
+}
 
 // SpectralGap estimates 1 − λ₂ of the lazy random walk on the snapshot: a
 // witness-free expansion proxy (0 for disconnected graphs, constant for

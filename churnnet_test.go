@@ -111,6 +111,50 @@ func TestExpansionFacade(t *testing.T) {
 	}
 }
 
+func TestExpansionTrackerFacade(t *testing.T) {
+	m := churnnet.NewWarmModel(churnnet.SDGR, 300, 14, 7)
+	tr := churnnet.TrackExpansion(m, 8, churnnet.ExpansionTrackerConfig{ReseedEvery: 2})
+	defer tr.Close()
+	var last churnnet.ExpansionObservation
+	for round := 1; round <= 8; round++ {
+		m.AdvanceRound()
+		last = tr.Observe()
+	}
+	if last.N == 0 || last.Profile == nil || len(last.Profile.BestBySize) == 0 {
+		t.Fatalf("empty tracked observation: %+v", last)
+	}
+	if last.Min < 0.1 {
+		t.Fatalf("SDGR d=14 tracked witness below 0.1: %+v", last.MinWitness)
+	}
+	// Tracked numbers must be exactly what a fresh rescan computes.
+	g := m.Graph()
+	for i, st := range tr.Sets() {
+		if st.Boundary != churnnet.BoundarySize(g, st.Members) {
+			t.Fatalf("set %d (%v): tracked boundary %d != rescan", i, st.Family, st.Boundary)
+		}
+	}
+	// Flooding shares the hook chain with an attached tracker.
+	for !g.IsAlive(m.LastBorn()) {
+		m.AdvanceRound()
+	}
+	if res := churnnet.Flood(m, churnnet.FloodOptions{Parallelism: churnnet.FloodAuto}); !res.Completed {
+		t.Fatalf("SDGR flood under a tracker did not complete: %+v", res)
+	}
+}
+
+func TestAutoParallelismFacade(t *testing.T) {
+	if w := churnnet.AutoParallelism(1000); w != 1 {
+		t.Fatalf("small-n auto parallelism %d, want 1", w)
+	}
+	if w := churnnet.AutoParallelism(1 << 22); w < 1 {
+		t.Fatalf("auto parallelism %d", w)
+	}
+	m := churnnet.NewReadyModelPar(churnnet.PDGR, 2000, 8, 9, true, churnnet.FloodAuto)
+	if m.Graph().NumAlive() == 0 {
+		t.Fatal("auto-worker stationary build produced an empty model")
+	}
+}
+
 func TestAnalysisFacade(t *testing.T) {
 	m := churnnet.NewWarmModel(churnnet.SDG, 1000, 2, 6)
 	g := m.Graph()

@@ -37,6 +37,15 @@
 //     closed-form stationary law, so the warm-up is simulated (minutes at
 //     n = 10⁶; use -reps 1).
 //
+//   - expansion: the incremental expansion-witness tracker
+//     (expansion.Tracker) against per-snapshot expansion.Estimate rescans
+//     on identically seeded models — the BENCH_expansion.json record
+//     behind the -trackexp flags. Each case tracks a churn window with an
+//     observation per round; the rescan side runs a witness search at
+//     every observation point. Tracked numbers are re-verified against
+//     fresh BoundarySize rescans at sampled observations (the rescan_equal
+//     column), so a speedup can never hide wrong bookkeeping.
+//
 // Usage:
 //
 //	benchjson -out BENCH_flood.json                        # smoke scale (CI)
@@ -46,6 +55,8 @@
 //	benchjson -bench floodpar -out BENCH_floodpar.json     # smoke scale (CI)
 //	benchjson -bench floodpar -scale large -reps 1 -out BENCH_floodpar.json
 //	benchjson -bench edgerate -scale large -reps 1 -out BENCH_edgerate.json
+//	benchjson -bench expansion -out BENCH_expansion.json   # smoke scale (CI)
+//	benchjson -bench expansion -scale large -reps 1 -out BENCH_expansion.json
 package main
 
 import (
@@ -54,12 +65,14 @@ import (
 	"flag"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"os"
 	"reflect"
 	"runtime"
 	"time"
 
 	"github.com/dyngraph/churnnet/internal/core"
+	"github.com/dyngraph/churnnet/internal/expansion"
 	"github.com/dyngraph/churnnet/internal/flood"
 	"github.com/dyngraph/churnnet/internal/graph"
 	"github.com/dyngraph/churnnet/internal/rng"
@@ -122,18 +135,21 @@ type output struct {
 
 func main() {
 	var (
-		bench    = flag.String("bench", "flood", "flood (engine vs reference), warmup (WarmUp vs SampleStationary), floodpar (serial vs sharded engine + parallel snapshot wiring) or edgerate (cut-event feed under bounded-degree policies)")
+		bench    = flag.String("bench", "flood", "flood (engine vs reference), warmup (WarmUp vs SampleStationary), floodpar (serial vs sharded engine + parallel snapshot wiring), edgerate (cut-event feed under bounded-degree policies) or expansion (incremental tracker vs per-snapshot Estimate)")
 		out      = flag.String("out", "", "output path (- for stdout; default BENCH_<bench>.json)")
 		scale    = flag.String("scale", "smoke", "smoke (CI, seconds) or large (the committed 10k..10M record)")
 		seed     = flag.Uint64("seed", 1, "deterministic seed")
 		reps     = flag.Int("reps", 3, "timed repetitions per implementation (min is reported)")
 		maxRefN  = flag.Int("max-ref-n", 200000, "flood only: time the reference only for n <= this (0 = always)")
-		floodPar = flag.Int("floodpar", 1, "flood only: worker shards inside each engine broadcast (floodpar mode sweeps its own)")
+		floodPar = flag.Int("floodpar", 1, "flood only: worker shards inside each engine broadcast; 0 picks W from GOMAXPROCS and n (floodpar mode sweeps its own)")
 	)
 	flag.Parse()
 	if err := validateFlags(*reps, *maxRefN, *floodPar); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(2)
+	}
+	if *floodPar == 0 {
+		*floodPar = flood.Auto
 	}
 	if *out == "" {
 		*out = "BENCH_" + *bench + ".json"
@@ -147,8 +163,10 @@ func main() {
 		runFloodParBench(*out, *scale, *seed, *reps)
 	case "edgerate":
 		runEdgeRateBench(*out, *scale, *seed, *reps)
+	case "expansion":
+		runExpansionBench(*out, *scale, *seed, *reps)
 	default:
-		fmt.Fprintf(os.Stderr, "benchjson: unknown -bench %q (want flood, warmup, floodpar or edgerate)\n", *bench)
+		fmt.Fprintf(os.Stderr, "benchjson: unknown -bench %q (want flood, warmup, floodpar, edgerate or expansion)\n", *bench)
 		os.Exit(2)
 	}
 }
@@ -162,8 +180,8 @@ func validateFlags(reps, maxRefN, floodPar int) error {
 		return errors.New("-reps must be >= 1")
 	case maxRefN < 0:
 		return errors.New("-max-ref-n must be >= 0 (0 = always)")
-	case floodPar < 1:
-		return errors.New("-floodpar must be >= 1")
+	case floodPar < 0:
+		return errors.New("-floodpar must be >= 0 (0 = auto from GOMAXPROCS and n)")
 	}
 	return nil
 }
@@ -831,4 +849,245 @@ func runEdgeRateCase(n, d int, policy core.DegreePolicy, seed uint64, window flo
 	er.FloodCompleted = res.Completed
 	er.CompletionRound = res.CompletionRound
 	return er
+}
+
+// --- the incremental-expansion benchmark (-bench expansion) ---
+
+type expansionCase struct {
+	kind core.Kind
+	n, d int
+}
+
+type expansionResult struct {
+	Model string `json:"model"`
+	N     int    `json:"n"`
+	D     int    `json:"d"`
+	Seed  uint64 `json:"seed"`
+	Reps  int    `json:"reps"`
+	// Window is the tracked churn window in rounds, with one observation
+	// per round (the standard tracking cadence); the rescan side runs one
+	// Estimate search per observation point on an identically seeded
+	// model. TrackerPar is the tracker's resolved flush worker count.
+	Window       int `json:"window"`
+	Observations int `json:"observations"`
+	TrackedSets  int `json:"tracked_sets"`
+	Reseeds      int `json:"reseeds"`
+	TrackerPar   int `json:"tracker_par"`
+
+	// BuildNs times the stationary-sampled model build (identical for
+	// both sides); TrackerNs covers attach + window advancement +
+	// per-round observations; EstimateNs covers the same advancement plus
+	// the per-observation Estimate searches. All are minima over reps,
+	// GC-isolated per phase.
+	BuildNs    int64   `json:"build_ns"`
+	TrackerNs  int64   `json:"tracker_ns"`
+	EstimateNs int64   `json:"estimate_ns"`
+	Speedup    float64 `json:"speedup"`
+
+	// RescanEqual confirms that at the sampled observations (first,
+	// middle, last) every tracked set's live size, boundary and ratio were
+	// bit-for-bit what fresh BoundarySize/Ratio rescans computed.
+	RescanEqual bool `json:"rescan_equal"`
+
+	// Window minima from the first repetition (upper bounds on h_out over
+	// time; the two searches track different candidate draws, so the
+	// numbers are sanity context, not an equality).
+	TrackerMin  float64 `json:"tracker_min"`
+	EstimateMin float64 `json:"estimate_min"`
+}
+
+type expansionOutput struct {
+	Benchmark  string            `json:"benchmark"`
+	Scale      string            `json:"scale"`
+	GoVersion  string            `json:"go_version"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Generated  string            `json:"generated"`
+	Cases      []expansionResult `json:"cases"`
+}
+
+// expansionBenchWindow is the tracked-window length (rounds, one
+// observation each) of every expansion bench case — the standard
+// tracking cadence: observe every round over an O(log n)-round window
+// (the horizon flooding completes in at these sizes), re-seeding the
+// adaptive families once mid-window.
+const (
+	expansionBenchWindow = 12
+	expansionBenchReseed = 8
+)
+
+// runExpansionBench measures time-resolved expansion tracking: the
+// event-driven tracker riding the churn stream versus re-running the
+// per-snapshot witness search at every observation point. Models are
+// built by stationary sampling (the tracker contract is warm-up-agnostic
+// and simulated warm-up would dominate at n = 10⁶).
+func runExpansionBench(out, scale string, seed uint64, reps int) {
+	var cases []expansionCase
+	switch scale {
+	case "smoke":
+		cases = []expansionCase{
+			{kind: core.SDGR, n: 2000, d: 21},
+			{kind: core.PDGR, n: 2000, d: 35},
+			{kind: core.SDG, n: 2000, d: 4},
+		}
+	case "large":
+		cases = []expansionCase{
+			{kind: core.SDGR, n: 100000, d: 21},
+			{kind: core.PDGR, n: 100000, d: 35},
+			{kind: core.SDGR, n: 1000000, d: 21},
+			{kind: core.PDGR, n: 1000000, d: 35},
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "benchjson: unknown -scale %q (want smoke or large)\n", scale)
+		os.Exit(2)
+	}
+
+	o := expansionOutput{
+		Benchmark:  "expansion: incremental tracker vs per-snapshot Estimate rescans",
+		Scale:      scale,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, c := range cases {
+		o.Cases = append(o.Cases, runExpansionCase(c, seed, reps, scale == "large"))
+	}
+	writeJSON(out, o, len(o.Cases))
+}
+
+// benchTrackerCfg keeps the tracked families comparable to the rescan
+// side's search (benchEstimateCfg): the same ladder, the same adversarial
+// family kinds, fewer random draws per size — the tracker keeps its sets
+// between observations, the search redraws them every time.
+func benchTrackerCfg(large bool) expansion.TrackerConfig {
+	cfg := expansion.TrackerConfig{
+		Singletons:        8,
+		RandomSetsPerSize: 2,
+		BFSSeeds:          4,
+		GreedySeeds:       2,
+		ReseedEvery:       expansionBenchReseed,
+		Parallelism:       flood.Auto,
+	}
+	if large {
+		cfg.LadderStride = 2
+		cfg.MaxBFSSize = 1 << 16
+		cfg.MaxGreedySize = 1024
+	}
+	return cfg
+}
+
+func benchEstimateCfg(large bool) expansion.Config {
+	if !large {
+		return expansion.Config{}
+	}
+	// Greedy growth is quadratic in its cap; cap it the same way the
+	// tracker side does so the rescan side stays runnable at n = 10⁶.
+	return expansion.Config{
+		SampleTrialsPerSize: 8,
+		BFSSeeds:            4,
+		GreedySeeds:         2,
+		MaxGreedySize:       1024,
+	}
+}
+
+func runExpansionCase(c expansionCase, seed uint64, reps int, large bool) expansionResult {
+	fmt.Fprintf(os.Stderr, "benchjson: expansion %s n=%d d=%d...\n", c.kind, c.n, c.d)
+	er := expansionResult{
+		Model: c.kind.String(), N: c.n, D: c.d, Seed: seed, Reps: reps,
+		Window: expansionBenchWindow, Observations: expansionBenchWindow,
+		RescanEqual: true,
+	}
+	checkAt := map[int]bool{1: true, expansionBenchWindow / 2: true, expansionBenchWindow: true}
+
+	for rep := 0; rep < reps; rep++ {
+		repSeed := seed + uint64(rep)
+
+		// Tracker side: attach, then advance the window observing every
+		// round; rescan verification runs off the clock.
+		runtime.GC()
+		t0 := time.Now()
+		m := core.SampleStationary(c.kind, c.n, c.d, rng.New(repSeed))
+		buildNs := int64(time.Since(t0))
+		if rep == 0 || buildNs < er.BuildNs {
+			er.BuildNs = buildNs
+		}
+		runtime.GC()
+		trackerMin := math.Inf(1)
+		var trackerNs int64
+		t0 = time.Now()
+		tr := expansion.NewTracker(m, rng.New(repSeed^0xe1), benchTrackerCfg(large))
+		for round := 1; round <= expansionBenchWindow; round++ {
+			m.AdvanceRound()
+			obs := tr.Observe()
+			if obs.Min < trackerMin {
+				trackerMin = obs.Min
+			}
+			if checkAt[round] {
+				trackerNs += int64(time.Since(t0)) // pause for the untimed rescan audit
+				if !rescanMatches(m.Graph(), tr) {
+					er.RescanEqual = false
+				}
+				t0 = time.Now()
+			}
+		}
+		trackerNs += int64(time.Since(t0))
+		if rep == 0 {
+			er.TrackerMin = trackerMin
+			er.TrackedSets = tr.NumSets()
+			er.Reseeds = tr.Reseeds()
+			er.TrackerPar = tr.Parallelism()
+		}
+		tr.Close()
+		if rep == 0 || trackerNs < er.TrackerNs {
+			er.TrackerNs = trackerNs
+		}
+
+		// Rescan side: identical model and advancement, a fresh witness
+		// search at every observation point.
+		m2 := core.SampleStationary(c.kind, c.n, c.d, rng.New(repSeed))
+		estR := rng.New(repSeed ^ 0xe2)
+		estimateMin := math.Inf(1)
+		runtime.GC()
+		t0 = time.Now()
+		for round := 1; round <= expansionBenchWindow; round++ {
+			m2.AdvanceRound()
+			if min, _ := expansion.Estimate(m2.Graph(), estR, benchEstimateCfg(large)).Min(); min < estimateMin {
+				estimateMin = min
+			}
+		}
+		estimateNs := int64(time.Since(t0))
+		if rep == 0 {
+			er.EstimateMin = estimateMin
+		}
+		if rep == 0 || estimateNs < er.EstimateNs {
+			er.EstimateNs = estimateNs
+		}
+	}
+	er.Speedup = float64(er.EstimateNs) / float64(er.TrackerNs)
+	if !er.RescanEqual {
+		fmt.Fprintf(os.Stderr, "benchjson: ERROR: tracker diverged from the rescan oracle for %s n=%d d=%d\n",
+			c.kind, c.n, c.d)
+		os.Exit(1)
+	}
+	return er
+}
+
+// rescanMatches audits every tracked set against a from-scratch
+// BoundarySize rescan of its member list.
+func rescanMatches(g *graph.Graph, tr *expansion.Tracker) bool {
+	for _, st := range tr.Sets() {
+		live := 0
+		for _, h := range st.Members {
+			if g.IsAlive(h) {
+				live++
+			}
+		}
+		if st.Live != live || st.Boundary != expansion.BoundarySize(g, st.Members) {
+			return false
+		}
+	}
+	return true
 }

@@ -1,10 +1,15 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 // TestValidateFlags pins the flag guard rails: -reps keeps its >= 1
-// contract, -max-ref-n its 0 = always meaning, and -floodpar requires an
-// explicit positive shard count (main exits with status 2 on error).
+// contract, -max-ref-n its 0 = always meaning, and -floodpar accepts 0 as the
+// automatic shard policy (main exits with status 2 on error).
 func TestValidateFlags(t *testing.T) {
 	cases := []struct {
 		name                    string
@@ -16,13 +21,96 @@ func TestValidateFlags(t *testing.T) {
 		{"sharded engine", 3, 200000, 8, false},
 		{"zero reps", 0, 200000, 1, true},
 		{"negative max-ref-n", 3, -1, 1, true},
-		{"zero floodpar", 3, 200000, 0, true},
+		{"auto floodpar", 3, 200000, 0, false},
 		{"negative floodpar", 3, 200000, -4, true},
 	}
 	for _, c := range cases {
 		err := validateFlags(c.reps, c.maxRefN, c.floodPar)
 		if (err != nil) != c.wantErr {
 			t.Errorf("%s: validateFlags = %v, wantErr %v", c.name, err, c.wantErr)
+		}
+	}
+}
+
+// TestFloodparEqualityColumnsSmoke regenerates the floodpar record at
+// smoke scale and asserts every result-equality column is true — the
+// guard the ROADMAP asked for so a multi-core regeneration of the
+// committed record can never silently trade correctness for scaling.
+// (Divergence also aborts the run with exit 1; the column check keeps the
+// guarantee even if that aborting path regresses.)
+func TestFloodparEqualityColumnsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("floodpar smoke bench skipped in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "floodpar.json")
+	runFloodParBench(out, "smoke", 1, 1)
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var o floodparOutput
+	if err := json.Unmarshal(data, &o); err != nil {
+		t.Fatal(err)
+	}
+	assertFloodparEquality(t, &o, "smoke run")
+}
+
+// TestCommittedRecordsEqualityColumns parses the committed benchmark
+// records and asserts their equality columns are all true, so a record
+// regenerated elsewhere (e.g. the multi-core CI job) cannot be committed
+// with a silent divergence.
+func TestCommittedRecordsEqualityColumns(t *testing.T) {
+	// Independent subtests: a missing record skips only its own check.
+	t.Run("floodpar", func(t *testing.T) {
+		data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_floodpar.json"))
+		if err != nil {
+			t.Skipf("no committed BENCH_floodpar.json: %v", err)
+		}
+		var o floodparOutput
+		if err := json.Unmarshal(data, &o); err != nil {
+			t.Fatal(err)
+		}
+		assertFloodparEquality(t, &o, "committed record")
+	})
+	t.Run("expansion", func(t *testing.T) {
+		data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_expansion.json"))
+		if err != nil {
+			t.Skipf("no committed BENCH_expansion.json: %v", err)
+		}
+		var e expansionOutput
+		if err := json.Unmarshal(data, &e); err != nil {
+			t.Fatal(err)
+		}
+		if len(e.Cases) == 0 {
+			t.Fatal("committed BENCH_expansion.json has no cases")
+		}
+		for _, c := range e.Cases {
+			if !c.RescanEqual {
+				t.Errorf("committed expansion case %s n=%d: rescan_equal is false", c.Model, c.N)
+			}
+		}
+	})
+}
+
+func assertFloodparEquality(t *testing.T, o *floodparOutput, tag string) {
+	t.Helper()
+	if len(o.Cases) == 0 || len(o.WireFill) == 0 {
+		t.Fatalf("%s: empty floodpar record", tag)
+	}
+	for _, c := range o.Cases {
+		if c.Par == 1 {
+			if c.ResultsEqual != nil {
+				t.Errorf("%s: serial row %s n=%d carries an equality column", tag, c.Model, c.N)
+			}
+			continue
+		}
+		if c.ResultsEqual == nil || !*c.ResultsEqual {
+			t.Errorf("%s: %s n=%d par=%d results_equal not true", tag, c.Model, c.N, c.Par)
+		}
+	}
+	for _, w := range o.WireFill {
+		if w.Workers > 1 && (w.LayoutEqual == nil || !*w.LayoutEqual) {
+			t.Errorf("%s: wire fill n=%d workers=%d layout_equal not true", tag, w.N, w.Workers)
 		}
 	}
 }

@@ -36,7 +36,8 @@ func main() {
 		trials    = flag.Int("trials", 1, "independent replicas to build (seeds seed, seed+1, ...)")
 		par       = flag.Int("par", 0, "worker-pool size for -trials (0 = all cores)")
 		fastWarm  = flag.Bool("fastwarmup", false, "sample the stationary snapshot directly instead of simulating warm-up")
-		floodPar  = flag.Int("floodpar", 1, "worker shards inside each -fastwarmup snapshot fill; results are identical at any value")
+		floodPar  = flag.Int("floodpar", 1, "worker shards inside each -fastwarmup snapshot fill and -trackexp tracker; 0 picks W from GOMAXPROCS and n; results are identical at any value")
+		trackExp  = flag.Bool("trackexp", false, "track expansion witnesses incrementally over the -rounds window (time-resolved h_out upper bounds)")
 	)
 	flag.Parse()
 
@@ -48,19 +49,28 @@ func main() {
 	if err := validateFlags(*trials, *n, *d, *rounds, *par, *floodPar); err != nil {
 		usageError(err.Error())
 	}
+	if *floodPar == 0 {
+		*floodPar = churnnet.FloodAuto
+	}
 
 	if *trials > 1 {
-		if *expand || *traceFile != "" {
-			fmt.Fprintln(os.Stderr, "churnsim: -expansion and -trace apply to single-model runs; drop them or use -trials 1")
+		if *expand || *traceFile != "" || *trackExp {
+			fmt.Fprintln(os.Stderr, "churnsim: -expansion, -trace and -trackexp apply to single-model runs; drop them or use -trials 1")
 			os.Exit(2)
 		}
 		runTrials(kind, *n, *d, *rounds, *seed, *trials, *par, *fastWarm, *floodPar)
 		return
 	}
+	if *trackExp && *traceFile != "" {
+		fmt.Fprintln(os.Stderr, "churnsim: -trackexp and -trace both drive the round loop; pick one")
+		os.Exit(2)
+	}
 
 	fmt.Printf("building %s with n=%d, d=%d (seed %d)...\n", kind, *n, *d, *seed)
 	m := churnnet.NewReadyModelPar(kind, *n, *d, *seed, *fastWarm, *floodPar)
-	if *traceFile != "" {
+	if *trackExp {
+		runTracked(m, *rounds, *seed, *floodPar)
+	} else if *traceFile != "" {
 		rec := churnnet.NewTraceRecorder()
 		rec.Run(m, *rounds)
 		f, err := os.Create(*traceFile)
@@ -113,6 +123,36 @@ func main() {
 			}
 			v, bw := p.MinInRange(band[0], band[1])
 			fmt.Printf("  sizes %6d..%-6d  min %.3f (witness %d)\n", band[0], band[1], v, bw.Size)
+		}
+	}
+}
+
+// runTracked attaches the incremental expansion tracker and prints the
+// time-resolved h_out trajectory (minima over tracked witness sets) across
+// the round window — the per-snapshot witness search of -expansion, made
+// affordable per round by riding the churn event stream.
+func runTracked(m churnnet.Model, rounds int, seed uint64, floodPar int) {
+	if rounds <= 0 {
+		rounds = 50
+		fmt.Printf("(-trackexp without -rounds: defaulting to %d rounds)\n", rounds)
+	}
+	every := rounds / 10
+	if every < 1 {
+		every = 1
+	}
+	tr := churnnet.TrackExpansion(m, seed+2, churnnet.ExpansionTrackerConfig{
+		ReseedEvery: 5,
+		Parallelism: floodPar,
+	})
+	defer tr.Close()
+	fmt.Printf("\ntracking %d expansion witness sets over %d rounds (observing every %d):\n",
+		tr.NumSets(), rounds, every)
+	fmt.Printf("  %8s %10s %12s %14s\n", "time", "alive", "min ratio", "witness size")
+	for round := 1; round <= rounds; round++ {
+		m.AdvanceRound()
+		if round%every == 0 || round == rounds {
+			obs := tr.Observe()
+			fmt.Printf("  %8.1f %10d %12.4f %14d\n", obs.Time, obs.N, obs.Min, obs.MinWitness.Size)
 		}
 	}
 }
@@ -170,8 +210,8 @@ func validateFlags(trials, n, d, rounds, par, floodPar int) error {
 		return errors.New("-rounds must be >= 0")
 	case par < 0:
 		return errors.New("-par must be >= 0 (0 = all cores)")
-	case floodPar < 1:
-		return errors.New("-floodpar must be >= 1")
+	case floodPar < 0:
+		return errors.New("-floodpar must be >= 0 (0 = auto from GOMAXPROCS and n)")
 	}
 	return nil
 }

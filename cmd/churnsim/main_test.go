@@ -1,11 +1,15 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	churnnet "github.com/dyngraph/churnnet"
+)
 
 // TestValidateFlags pins the flag guard rails: invalid values are rejected
 // (main exits with the conventional usage status 2), -par keeps its
-// documented 0 = all-cores meaning, and -floodpar requires an explicit
-// positive shard count.
+// documented 0 = all-cores meaning, and -floodpar accepts 0 as the
+// automatic GOMAXPROCS-and-n policy but rejects negatives.
 func TestValidateFlags(t *testing.T) {
 	cases := []struct {
 		name                                string
@@ -15,18 +19,32 @@ func TestValidateFlags(t *testing.T) {
 		{"defaults", 1, 10000, 35, 0, 0, 1, false},
 		{"trials on pool", 8, 5000, 3, 10, 4, 1, false},
 		{"sharded wiring", 1, 100000, 35, 0, 0, 8, false},
+		{"auto floodpar", 1, 100000, 35, 0, 0, 0, false},
 		{"zero trials", 0, 10000, 35, 0, 0, 1, true},
 		{"zero n", 1, 0, 35, 0, 0, 1, true},
 		{"negative d", 1, 10000, -1, 0, 0, 1, true},
 		{"negative rounds", 1, 10000, 35, -5, 0, 1, true},
 		{"negative par", 1, 10000, 35, 0, -1, 1, true},
-		{"zero floodpar", 1, 10000, 35, 0, 0, 0, true},
 		{"negative floodpar", 1, 10000, 35, 0, 0, -2, true},
 	}
 	for _, c := range cases {
 		err := validateFlags(c.trials, c.n, c.d, c.rounds, c.par, c.floodPar)
 		if (err != nil) != c.wantErr {
 			t.Errorf("%s: validateFlags = %v, wantErr %v", c.name, err, c.wantErr)
+		}
+	}
+}
+
+// TestRunTracked smoke-tests the -trackexp path end to end: a small model
+// tracked over a short window prints a trajectory without panicking, at
+// serial and auto tracker parallelism, and leaves the model's hook slot
+// clean for later observers.
+func TestRunTracked(t *testing.T) {
+	for _, floodPar := range []int{1, churnnet.FloodAuto} {
+		m := churnnet.NewWarmModel(churnnet.SDGR, 200, 8, 3)
+		runTracked(m, 12, 3, floodPar)
+		if h := m.Hooks(); h.OnEdge != nil || h.OnDeath != nil {
+			t.Fatalf("runTracked left tracker hooks installed (floodPar %d)", floodPar)
 		}
 	}
 }

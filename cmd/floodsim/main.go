@@ -29,7 +29,7 @@ func main() {
 		async     = flag.Bool("async", false, "asynchronous semantics (Definition 4.2)")
 		traj      = flag.Bool("trajectory", false, "print per-round informed counts of trial 0")
 		fastWarm  = flag.Bool("fastwarmup", false, "sample the stationary snapshot directly instead of simulating warm-up")
-		floodPar  = flag.Int("floodpar", 1, "worker shards inside each broadcast (and each -fastwarmup snapshot fill); results are identical at any value")
+		floodPar  = flag.Int("floodpar", 1, "worker shards inside each broadcast (and each -fastwarmup snapshot fill); 0 picks W from GOMAXPROCS and n; results are identical at any value")
 	)
 	flag.Parse()
 
@@ -40,6 +40,9 @@ func main() {
 	}
 	if err := validateFlags(*trials, *n, *d, *maxRounds, *floodPar); err != nil {
 		usageError(err.Error())
+	}
+	if *floodPar == 0 {
+		*floodPar = churnnet.FloodAuto
 	}
 	mode := churnnet.Discretized
 	if *async {
@@ -104,8 +107,8 @@ func validateFlags(trials, n, d, maxRounds, floodPar int) error {
 		return errors.New("-d must be >= 0")
 	case maxRounds < 0:
 		return errors.New("-max-rounds must be >= 0 (0 = default)")
-	case floodPar < 1:
-		return errors.New("-floodpar must be >= 1")
+	case floodPar < 0:
+		return errors.New("-floodpar must be >= 0 (0 = auto from GOMAXPROCS and n)")
 	}
 	return nil
 }

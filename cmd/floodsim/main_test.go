@@ -19,7 +19,7 @@ func TestValidateFlags(t *testing.T) {
 		{"zero n", 10, 0, 21, 0, 1, true},
 		{"negative d", 10, 10000, -1, 0, 1, true},
 		{"negative max-rounds", 10, 10000, 21, -1, 1, true},
-		{"zero floodpar", 10, 10000, 21, 0, 0, true},
+		{"auto floodpar", 10, 10000, 21, 0, 0, false},
 		{"negative floodpar", 10, 10000, 21, 0, -4, true},
 	}
 	for _, c := range cases {

@@ -27,12 +27,15 @@ func main() {
 		gossip     = flag.Float64("gossip", 8, "ADDR gossip interval (time units)")
 		broadcasts = flag.Int("broadcasts", 10, "number of test broadcasts")
 		seed       = flag.Uint64("seed", 1, "deterministic seed")
-		floodPar   = flag.Int("floodpar", 1, "worker shards inside each broadcast; results are identical at any value")
+		floodPar   = flag.Int("floodpar", 1, "worker shards inside each broadcast; 0 picks W from GOMAXPROCS and n; results are identical at any value")
 	)
 	flag.Parse()
 
 	if err := validateFlags(*n, *d, *maxIn, *book, *gossip, *broadcasts, *floodPar); err != nil {
 		usageError(err.Error())
+	}
+	if *floodPar == 0 {
+		*floodPar = churnnet.FloodAuto
 	}
 
 	fmt.Printf("overlay: n=%d d=%d maxin=%d book=%d gossip=%.1f (seed %d)\n",
@@ -95,8 +98,8 @@ func validateFlags(n, d, maxIn, book int, gossip float64, broadcasts, floodPar i
 		return errors.New("-gossip must be > 0")
 	case broadcasts < 0:
 		return errors.New("-broadcasts must be >= 0")
-	case floodPar < 1:
-		return errors.New("-floodpar must be >= 1")
+	case floodPar < 0:
+		return errors.New("-floodpar must be >= 0 (0 = auto from GOMAXPROCS and n)")
 	}
 	return nil
 }

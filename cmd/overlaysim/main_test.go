@@ -21,7 +21,7 @@ func TestValidateFlags(t *testing.T) {
 		{"zero book", 4000, 16, 0, 0, 8, 10, 1, true},
 		{"zero gossip", 4000, 16, 0, 256, 0, 10, 1, true},
 		{"negative broadcasts", 4000, 16, 0, 256, 8, -1, 1, true},
-		{"zero floodpar", 4000, 16, 0, 256, 8, 10, 0, true},
+		{"auto floodpar", 4000, 16, 0, 256, 8, 10, 0, false},
 		{"negative floodpar", 4000, 16, 0, 256, 8, 10, -8, true},
 	}
 	for _, c := range cases {

@@ -15,7 +15,7 @@ func TestValidateFlags(t *testing.T) {
 		{"serial", 1, 1, false},
 		{"both parallel", 4, 8, false},
 		{"negative par", -1, 1, true},
-		{"zero floodpar", 0, 0, true},
+		{"auto floodpar", 0, 0, false},
 		{"negative floodpar", 0, -2, true},
 	}
 	for _, c := range cases {

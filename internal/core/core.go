@@ -86,6 +86,45 @@ type Hooks struct {
 	OnEdge  func(u, v graph.Handle)
 }
 
+// ChainHooks composes two observers' hooks into one: every event invokes
+// first's callback and then next's. Hooks deliberately holds plain funcs —
+// a model carries exactly one Hooks value — so an observer that wants to
+// listen without evicting an earlier one must chain: save the model's
+// current Hooks, install ChainHooks(mine, saved), and restore saved when
+// done. Both the incremental flooding engine (flood.Run) and the expansion
+// tracker (expansion.Tracker) follow that discipline, which is what lets
+// them ride one model's event stream simultaneously without dropping
+// events (pinned by the hook-contract tests in hookchain_test.go and the
+// shared-chain test in internal/expansion). Observer lifetimes must nest:
+// restoring a saved Hooks value unchains everything installed after it.
+func ChainHooks(first, next Hooks) Hooks {
+	return Hooks{
+		OnBirth: chain1(first.OnBirth, next.OnBirth),
+		OnDeath: chain1(first.OnDeath, next.OnDeath),
+		OnEdge:  chain2(first.OnEdge, next.OnEdge),
+	}
+}
+
+func chain1(a, b func(graph.Handle)) func(graph.Handle) {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return func(h graph.Handle) { a(h); b(h) }
+}
+
+func chain2(a, b func(u, v graph.Handle)) func(u, v graph.Handle) {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return func(u, v graph.Handle) { a(u, v); b(u, v) }
+}
+
 // EdgeEventSource is implemented by models whose edge set changes only
 // through events observable via Hooks: every created or redirected edge
 // fires Hooks.OnEdge, and every removal is implied by an OnDeath (rule 2 is

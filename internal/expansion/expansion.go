@@ -362,8 +362,9 @@ const greedyCandidateCap = 64
 // greedyGrow grows a set from seed, at each step absorbing the boundary
 // vertex (among up to greedyCandidateCap sampled candidates) with the
 // fewest neighbors outside the current set, recording every intermediate
-// ratio.
-func greedyGrow(g *graph.Graph, seed graph.Handle, maxSize int, r *rng.RNG, record func(size, boundary int)) {
+// ratio. The grown set is returned so callers that track sets over time
+// (the Tracker's greedy family) can keep it.
+func greedyGrow(g *graph.Graph, seed graph.Handle, maxSize int, r *rng.RNG, record func(size, boundary int)) []graph.Handle {
 	var inSet graph.Marks
 	inSet.Mark(seed)
 	set := []graph.Handle{seed}
@@ -395,7 +396,7 @@ func greedyGrow(g *graph.Graph, seed graph.Handle, maxSize int, r *rng.RNG, reco
 		compact()
 		record(len(set), len(boundary))
 		if len(boundary) == 0 {
-			return // the connected component is exhausted
+			return set // the connected component is exhausted
 		}
 		// Pick the boundary vertex with the fewest external neighbors,
 		// examining at most greedyCandidateCap sampled candidates.
@@ -430,4 +431,5 @@ func greedyGrow(g *graph.Graph, seed graph.Handle, maxSize int, r *rng.RNG, reco
 	}
 	compact()
 	record(len(set), len(boundary))
+	return set
 }

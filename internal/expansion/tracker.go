@@ -1,0 +1,729 @@
+package expansion
+
+// This file implements the incremental expansion-witness engine: where
+// Estimate rescans every candidate family from scratch on each snapshot
+// (O(n·d) per call), the Tracker subscribes to the model's OnEdge/OnDeath
+// event stream — the same core.EdgeEventSource contract the flooding
+// engine rides — and maintains |S|, |∂out(S)| and the ratio of a
+// configurable family of witness sets under churn in O(events).
+//
+// # Bookkeeping
+//
+// Membership is fixed between re-seeds, so the only quantities that move
+// are the live-member count of each set and the per-node count of live
+// edges into the set:
+//
+//	cnt[x][s] = number of live edges between node x and the live members
+//	            of set s, for x not a member of s
+//	|∂out(s)| = #{x : cnt[x][s] > 0}
+//
+// Every event that can change a count is visible on the hook stream:
+//
+//   - OnEdge(u, v) with exactly one endpoint a member of s adds one unit
+//     to the other endpoint's count;
+//   - a non-member death zeroes its counts (all its edges vanish,
+//     rule 2), removing it from every boundary it was on;
+//   - a member death removes one unit per live incident edge to a
+//     non-member — the hook fires before removal, while the neighborhood
+//     is still inspectable — and decrements the set's live size.
+//
+// Regeneration needs no special case: the orphaned edge disappears with
+// the death that orphaned it, and the re-pointed request fires a fresh
+// OnEdge (rule 3).
+//
+// # Two state planes, and the sharded flush
+//
+// State splits into a serial hook plane and a sharded flush plane. The
+// hook plane — per-slot membership lists and per-set live counts — is read
+// and written only while the model advances (hooks are strictly serial).
+// Hook handlers do not apply boundary updates directly: they *resolve*
+// each event against the membership lists into per-slot operations
+// (increment/decrement one count, drop one node's counts) and append them
+// to per-shard operation logs, routed by the block-cyclic slot ownership
+// the flooding engine uses (owner(slot) = (slot/64) mod W).
+//
+// The flush plane — the per-slot count lists and per-set boundary sizes —
+// is touched only by flush(), which fans the logs out across W workers:
+// each worker applies its own shard's ops in log order (it owns every slot
+// they touch) and accumulates per-set boundary deltas in a private row;
+// the rows are summed at the barrier. Per-slot state evolves in log order
+// no matter how slots map to workers, and integer sums are
+// order-independent, so every observable is bit-for-bit identical at any
+// W (pinned by TestTrackerParallelismInvariance) — the knob only spends
+// more cores on re-seed scans and event bursts. Epoch tags make re-seeds
+// O(1): bumping the tracker epoch invalidates every per-slot list lazily,
+// the same trick graph.Marks uses for generations.
+import (
+	"sort"
+	"sync"
+
+	"github.com/dyngraph/churnnet/internal/core"
+	"github.com/dyngraph/churnnet/internal/graph"
+	"github.com/dyngraph/churnnet/internal/rng"
+)
+
+// Family identifies which candidate family a tracked set was seeded from.
+type Family uint8
+
+// The tracked witness families, mirroring Estimate's candidate passes.
+const (
+	// FamilySingleton sets hold one low-degree node each.
+	FamilySingleton Family = iota
+	// FamilyOldest sets hold the k oldest nodes at seed time.
+	FamilyOldest
+	// FamilyYoungest sets hold the k youngest nodes at seed time.
+	FamilyYoungest
+	// FamilyRandom sets are uniform k-samples of the alive nodes.
+	FamilyRandom
+	// FamilyBFS sets are BFS balls grown around low-degree seeds.
+	FamilyBFS
+	// FamilyGreedy sets come from greedy boundary-minimizing growth.
+	FamilyGreedy
+)
+
+// String names the family.
+func (f Family) String() string {
+	switch f {
+	case FamilySingleton:
+		return "singleton"
+	case FamilyOldest:
+		return "oldest"
+	case FamilyYoungest:
+		return "youngest"
+	case FamilyRandom:
+		return "random"
+	case FamilyBFS:
+		return "bfs"
+	case FamilyGreedy:
+		return "greedy"
+	default:
+		return "unknown"
+	}
+}
+
+// TrackerConfig tunes a Tracker. The zero value selects the defaults
+// noted per field; set a count negative to disable its family.
+type TrackerConfig struct {
+	// Singletons tracks this many size-1 sets, seeded on the
+	// lowest-degree nodes (default 8).
+	Singletons int
+	// RandomSetsPerSize tracks this many uniform k-sets per ladder size
+	// (default 2).
+	RandomSetsPerSize int
+	// SkipAgeSets disables the oldest-k/youngest-k pair tracked per
+	// ladder size (the cohorts where no-regeneration models grow their
+	// isolated nodes, Lemma 3.5).
+	SkipAgeSets bool
+	// LadderStride tracks every k-th rung of the geometric size ladder
+	// for the age and random families (default 1 = every rung). The
+	// ladder factor is 1.6, so stride 2 still bounds every band minimum
+	// within a 2.56× size window while halving the dominant seeding cost,
+	// Σ|S|·d — the right trade at n ≥ 10⁵.
+	LadderStride int
+	// BFSSeeds grows this many BFS balls around low-degree seeds
+	// (default 4); MaxBFSSize caps each ball (default n/2).
+	BFSSeeds   int
+	MaxBFSSize int
+	// GreedySeeds runs this many greedy boundary-minimizing growths
+	// (default 2); MaxGreedySize caps each (default min(n/2, 2048) —
+	// greedy growth is the one superlinear seeding pass).
+	GreedySeeds   int
+	MaxGreedySize int
+	// ReseedEvery re-derives every family from the current snapshot on
+	// each ReseedEvery-th Observe call (0 = seed once at construction).
+	// Adaptive re-seeding keeps the low-degree and age families pointed
+	// at the cohorts where churn currently concentrates weak witnesses;
+	// a tracker that never re-seeds watches its frozen sets age out.
+	ReseedEvery int
+	// Parallelism is the worker-shard count of the flush plane: 0 or 1
+	// serial, negative picks graph.AutoWorkers(n) from GOMAXPROCS and
+	// the model size. Results are bit-for-bit identical at any setting.
+	Parallelism int
+}
+
+func (c TrackerConfig) withDefaults() TrackerConfig {
+	if c.Singletons == 0 {
+		c.Singletons = 8
+	}
+	if c.RandomSetsPerSize == 0 {
+		c.RandomSetsPerSize = 2
+	}
+	if c.LadderStride < 1 {
+		c.LadderStride = 1
+	}
+	if c.BFSSeeds == 0 {
+		c.BFSSeeds = 4
+	}
+	if c.GreedySeeds == 0 {
+		c.GreedySeeds = 2
+	}
+	return c
+}
+
+// defaultMaxGreedyTracked caps greedy growth during seeding unless the
+// config overrides it; beyond a few thousand members the growth's
+// per-step boundary compaction dominates every other seeding pass.
+const defaultMaxGreedyTracked = 2048
+
+// trackerShardBlock is the per-slot-range ownership block width, matching
+// the flooding engine's: slot s belongs to shard (s/64) mod W.
+const trackerShardBlock = 64
+
+// trackerFlushThreshold bounds the pending-operation backlog; seeding
+// scans and long inter-observation windows flush incrementally instead of
+// accumulating an O(Σ|S|·d) log.
+const trackerFlushThreshold = 1 << 16
+
+// Op kinds of the flush plane.
+const (
+	opIncr uint8 = iota // one more live edge between a set and a non-member
+	opDecr              // one fewer (a member death severed an edge)
+	opDrop              // a node died: zero all its boundary counts
+)
+
+// trackOp is one resolved per-slot update. Ops are appended in event
+// order to the log of the shard owning their slot.
+type trackOp struct {
+	kind uint8
+	slot uint32
+	gen  uint32
+	set  uint32
+}
+
+// slotSets lists the tracked sets a node belongs to (hook plane).
+type slotSets struct {
+	epoch uint32
+	gen   uint32
+	sets  []uint32
+}
+
+// slotBnd holds one node's live-edge counts into the sets it borders
+// (flush plane; entries only for counts >= 1).
+type slotBnd struct {
+	epoch   uint32
+	gen     uint32
+	entries []bndEntry
+}
+
+type bndEntry struct {
+	set uint32
+	cnt int32
+}
+
+type trackedSet struct {
+	family   Family
+	members  []graph.Handle
+	live     int // alive members (hook plane)
+	boundary int // |∂out| (flush plane)
+}
+
+// SetState reports one tracked set; Members is the seeded list (dead
+// members retained — BoundarySize and Ratio ignore them, so the list can
+// be rescanned as-is by the oracle tests).
+type SetState struct {
+	Family   Family
+	Members  []graph.Handle
+	Live     int
+	Boundary int
+}
+
+// Observation is one time-resolved expansion measurement.
+type Observation struct {
+	// Time is the model clock at the observation; N the alive count.
+	Time float64
+	N    int
+	// Min is the smallest ratio over tracked sets with live size in
+	// [1, N/2] (an h_out upper bound, +Inf if no tracked set qualifies),
+	// achieved by MinWitness.
+	Min        float64
+	MinWitness Witness
+	// Profile holds the best tracked witness per live set size — the
+	// same shape Estimate returns, so band queries (MinInRange) work
+	// unchanged on tracked measurements.
+	Profile *Profile
+}
+
+// Tracker maintains expansion witnesses incrementally from a model's
+// churn event stream. Construct with NewTracker, read with Observe (and
+// Sets for per-set detail), release the hook chain with Close.
+//
+// The tracker chains onto the model's existing hooks and other observers
+// chain onto the tracker — flood.Run over a tracked model works and drops
+// no events (both follow the core.ChainHooks discipline; lifetimes must
+// nest). All methods must be called from the goroutine advancing the
+// model.
+type Tracker struct {
+	m   core.Model
+	g   *graph.Graph
+	r   *rng.RNG
+	cfg TrackerConfig
+	par int
+
+	prev   core.Hooks
+	closed bool
+
+	epoch uint32
+	sets  []trackedSet
+
+	member []slotSets // hook plane, indexed by arena slot
+
+	bnd    []slotBnd    // flush plane, indexed by arena slot
+	ops    [][]trackOp  // pending ops, one log per owner shard
+	nOps   int
+	deltas [][]int64 // per shard: per-set boundary deltas of one flush
+
+	inSet graph.Marks // seeding scratch
+
+	observations, reseeds int
+}
+
+// NewTracker attaches a tracker to m, seeds the witness families from the
+// current snapshot (consuming r, which the tracker keeps for re-seeds) and
+// returns it. It panics if the model does not guarantee the edge-event
+// contract of core.EdgeEventSource — without it edge changes are
+// invisible and incremental maintenance is impossible.
+func NewTracker(m core.Model, r *rng.RNG, cfg TrackerConfig) *Tracker {
+	es, ok := m.(core.EdgeEventSource)
+	if !ok || !es.EmitsEdgeEvents() {
+		panic("expansion: NewTracker requires a model with the edge-event contract (core.EdgeEventSource)")
+	}
+	cfg = cfg.withDefaults()
+	par := cfg.Parallelism
+	if par < 0 {
+		par = graph.AutoWorkers(m.N())
+	}
+	if par < 1 {
+		par = 1
+	}
+	t := &Tracker{m: m, g: m.Graph(), r: r, cfg: cfg, par: par}
+	t.ops = make([][]trackOp, par)
+	t.prev = m.Hooks()
+	m.SetHooks(core.ChainHooks(core.Hooks{OnDeath: t.onDeath, OnEdge: t.onEdge}, t.prev))
+	t.reseed()
+	return t
+}
+
+// Close detaches the tracker, restoring the hooks the model had before
+// NewTracker. Closing also unchains any observer installed after the
+// tracker (lifetimes must nest). Idempotent.
+func (t *Tracker) Close() {
+	if t.closed {
+		return
+	}
+	t.closed = true
+	t.m.SetHooks(t.prev)
+}
+
+// Parallelism returns the resolved flush worker-shard count.
+func (t *Tracker) Parallelism() int { return t.par }
+
+// Observations returns how many Observe calls have been made.
+func (t *Tracker) Observations() int { return t.observations }
+
+// Reseeds returns how many times the families were (re-)seeded, the
+// initial seeding included.
+func (t *Tracker) Reseeds() int { return t.reseeds }
+
+// NumSets returns the number of currently tracked sets.
+func (t *Tracker) NumSets() int { return len(t.sets) }
+
+// Observe flushes pending events and returns the current measurement;
+// on every cfg.ReseedEvery-th call it then re-derives the families from
+// the current snapshot (the returned observation still reflects the sets
+// tracked up to this instant).
+func (t *Tracker) Observe() Observation {
+	t.flush()
+	p := &Profile{N: t.g.NumAlive(), BestBySize: make(map[int]Witness)}
+	for i := range t.sets {
+		st := &t.sets[i]
+		if st.live <= 0 {
+			continue
+		}
+		w := Witness{Size: st.live, Boundary: st.boundary, Ratio: float64(st.boundary) / float64(st.live)}
+		if old, ok := p.BestBySize[st.live]; !ok || w.Ratio < old.Ratio {
+			p.BestBySize[st.live] = w
+		}
+	}
+	min, mw := p.Min()
+	obs := Observation{Time: t.m.Now(), N: p.N, Min: min, MinWitness: mw, Profile: p}
+	t.observations++
+	if t.cfg.ReseedEvery > 0 && t.observations%t.cfg.ReseedEvery == 0 {
+		t.reseed()
+	}
+	return obs
+}
+
+// Sets flushes pending events and returns every tracked set's state, in
+// stable set-index order. The member slices are copies.
+func (t *Tracker) Sets() []SetState {
+	t.flush()
+	out := make([]SetState, len(t.sets))
+	for i := range t.sets {
+		st := &t.sets[i]
+		members := make([]graph.Handle, len(st.members))
+		copy(members, st.members)
+		out[i] = SetState{Family: st.family, Members: members, Live: st.live, Boundary: st.boundary}
+	}
+	return out
+}
+
+// --- hook plane ---
+
+func (t *Tracker) owner(slot uint32) int {
+	if t.par == 1 {
+		return 0
+	}
+	return int(slot/trackerShardBlock) % t.par
+}
+
+func (t *Tracker) appendOp(op trackOp) {
+	w := t.owner(op.slot)
+	t.ops[w] = append(t.ops[w], op)
+	t.nOps++
+	if t.nOps >= trackerFlushThreshold {
+		t.flush()
+	}
+}
+
+// memberSets returns the sets h currently belongs to (nil for non-members
+// and stale incarnations).
+func (t *Tracker) memberSets(h graph.Handle) []uint32 {
+	if int(h.Slot) >= len(t.member) {
+		return nil
+	}
+	ss := &t.member[h.Slot]
+	if ss.epoch != t.epoch || ss.gen != h.Gen {
+		return nil
+	}
+	return ss.sets
+}
+
+func (t *Tracker) isMember(h graph.Handle, set uint32) bool {
+	for _, s := range t.memberSets(h) {
+		if s == set {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *Tracker) addMember(h graph.Handle, set uint32) {
+	t.growMember(int(h.Slot) + 1)
+	ss := &t.member[h.Slot]
+	if ss.epoch != t.epoch || ss.gen != h.Gen {
+		ss.epoch, ss.gen = t.epoch, h.Gen
+		ss.sets = ss.sets[:0]
+	}
+	ss.sets = append(ss.sets, set)
+}
+
+// onEdge resolves a fresh request edge u–v: for each set holding exactly
+// one endpoint, the other endpoint gains one unit of boundary count.
+func (t *Tracker) onEdge(u, v graph.Handle) {
+	t.noteEdgeSide(u, v)
+	t.noteEdgeSide(v, u)
+}
+
+func (t *Tracker) noteEdgeSide(m, x graph.Handle) {
+	for _, s := range t.memberSets(m) {
+		if !t.isMember(x, s) {
+			t.appendOp(trackOp{kind: opIncr, slot: x.Slot, gen: x.Gen, set: s})
+		}
+	}
+}
+
+// onDeath resolves a death: the node leaves every boundary it was on
+// (opDrop), and if it was a member its sets lose one live node plus one
+// boundary unit per live incident edge to a non-member — resolved here,
+// while the hook contract keeps the neighborhood inspectable.
+func (t *Tracker) onDeath(h graph.Handle) {
+	t.appendOp(trackOp{kind: opDrop, slot: h.Slot, gen: h.Gen})
+	ms := t.memberSets(h)
+	if len(ms) == 0 {
+		return
+	}
+	for _, s := range ms {
+		t.sets[s].live--
+	}
+	t.g.Neighbors(h, func(x graph.Handle) bool {
+		for _, s := range ms {
+			if !t.isMember(x, s) {
+				t.appendOp(trackOp{kind: opDecr, slot: x.Slot, gen: x.Gen, set: s})
+			}
+		}
+		return true
+	})
+	t.member[h.Slot].sets = t.member[h.Slot].sets[:0]
+}
+
+// --- flush plane ---
+
+func (t *Tracker) growMember(n int) {
+	if n <= len(t.member) {
+		return
+	}
+	grown := make([]slotSets, n*2)
+	copy(grown, t.member)
+	t.member = grown
+}
+
+func (t *Tracker) growBnd(n int) {
+	if n <= len(t.bnd) {
+		return
+	}
+	grown := make([]slotBnd, n*2)
+	copy(grown, t.bnd)
+	t.bnd = grown
+}
+
+func (t *Tracker) ensureDeltas() {
+	if t.deltas != nil && len(t.deltas[0]) == len(t.sets) {
+		return
+	}
+	t.deltas = make([][]int64, t.par)
+	for w := range t.deltas {
+		t.deltas[w] = make([]int64, len(t.sets))
+	}
+}
+
+// flush applies the pending per-shard op logs. Worker w owns every slot
+// its log touches and accumulates boundary deltas in its private row, so
+// the barrier is the only synchronization; the merge sums rows in shard
+// order (integer sums — order never observable).
+func (t *Tracker) flush() {
+	if t.nOps == 0 {
+		return
+	}
+	t.growBnd(t.g.NumSlots())
+	t.ensureDeltas()
+	if t.par == 1 {
+		t.applyShard(0)
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(t.par)
+		for w := 0; w < t.par; w++ {
+			go func(w int) {
+				defer wg.Done()
+				t.applyShard(w)
+			}(w)
+		}
+		wg.Wait()
+	}
+	for w := 0; w < t.par; w++ {
+		d := t.deltas[w]
+		for s := range d {
+			if d[s] != 0 {
+				t.sets[s].boundary += int(d[s])
+				d[s] = 0
+			}
+		}
+		t.ops[w] = t.ops[w][:0]
+	}
+	t.nOps = 0
+}
+
+// applyShard replays one shard's op log in order over the slots it owns.
+func (t *Tracker) applyShard(w int) {
+	delta := t.deltas[w]
+	for _, op := range t.ops[w] {
+		b := &t.bnd[op.slot]
+		switch op.kind {
+		case opIncr:
+			if b.epoch != t.epoch || b.gen != op.gen {
+				// First count of this incarnation (or of this epoch):
+				// any leftover entries belong to a drained past and were
+				// already debited when it died or re-seeded.
+				b.epoch, b.gen = t.epoch, op.gen
+				b.entries = b.entries[:0]
+			}
+			found := false
+			for i := range b.entries {
+				if b.entries[i].set == op.set {
+					b.entries[i].cnt++
+					// Move-to-front: op streams hit the same (slot, set)
+					// in bursts (seeding scans count one set at a time),
+					// so the next search is O(1). The reordering is a
+					// deterministic function of the per-slot op sequence,
+					// which is identical at every worker count.
+					b.entries[0], b.entries[i] = b.entries[i], b.entries[0]
+					found = true
+					break
+				}
+			}
+			if !found {
+				b.entries = append(b.entries, bndEntry{set: op.set, cnt: 1})
+				last := len(b.entries) - 1
+				b.entries[0], b.entries[last] = b.entries[last], b.entries[0]
+				delta[op.set]++
+			}
+		case opDecr:
+			// A decrement always finds its unit: the edge it retires was
+			// counted either by the seeding scan or by an earlier opIncr
+			// in this same slot-ordered log. A miss means the model broke
+			// the edge-event contract (or an observer dropped events).
+			ok := false
+			if b.epoch == t.epoch && b.gen == op.gen {
+				for i := range b.entries {
+					if b.entries[i].set == op.set {
+						if b.entries[i].cnt--; b.entries[i].cnt == 0 {
+							last := len(b.entries) - 1
+							b.entries[i] = b.entries[last]
+							b.entries = b.entries[:last]
+							delta[op.set]--
+						} else {
+							b.entries[0], b.entries[i] = b.entries[i], b.entries[0]
+						}
+						ok = true
+						break
+					}
+				}
+			}
+			if !ok {
+				panic("expansion: tracker boundary decrement without a matching count (edge-event contract violated)")
+			}
+		case opDrop:
+			if b.epoch == t.epoch && b.gen == op.gen {
+				for _, e := range b.entries {
+					delta[e.set]--
+				}
+				b.entries = b.entries[:0]
+			}
+		}
+	}
+}
+
+// --- seeding ---
+
+// reseed derives every family from the current snapshot: epoch-invalidate
+// all per-slot state, build the member lists (consuming the tracker RNG in
+// a fixed order), install memberships, and run the per-set boundary scans
+// through the op logs so the sharded flush absorbs them — seeding is the
+// tracker's one O(Σ|S|·d) pass, and the one that benefits from W > 1.
+func (t *Tracker) reseed() {
+	t.flush()
+	t.epoch++
+	t.sets = t.sets[:0]
+	t.deltas = nil
+	t.reseeds++
+	g, cfg := t.g, t.cfg
+	hs := g.AliveHandles()
+	n := len(hs)
+	if n == 0 {
+		return
+	}
+
+	add := func(f Family, members []graph.Handle) {
+		t.sets = append(t.sets, trackedSet{family: f, members: members})
+	}
+	if cfg.Singletons > 0 {
+		k := cfg.Singletons
+		if k > n {
+			k = n
+		}
+		for _, h := range lowDegreeSeeds(g, hs, k) {
+			add(FamilySingleton, []graph.Handle{h})
+		}
+	}
+	ladder := sizeLadder(n)
+	if cfg.LadderStride > 1 {
+		// Keep every stride-th rung plus the last (the n/2 band anchor).
+		kept := ladder[:0]
+		for i, k := range ladder {
+			if i%cfg.LadderStride == 0 || i == len(ladder)-1 {
+				kept = append(kept, k)
+			}
+		}
+		ladder = kept
+	}
+	if !cfg.SkipAgeSets {
+		byAge := make([]graph.Handle, n)
+		copy(byAge, hs)
+		sort.Slice(byAge, func(i, j int) bool { return g.BirthSeq(byAge[i]) < g.BirthSeq(byAge[j]) })
+		for _, k := range ladder {
+			oldest := make([]graph.Handle, k)
+			copy(oldest, byAge[:k])
+			add(FamilyOldest, oldest)
+			youngest := make([]graph.Handle, k)
+			copy(youngest, byAge[n-k:])
+			add(FamilyYoungest, youngest)
+		}
+	}
+	if cfg.RandomSetsPerSize > 0 {
+		for _, k := range ladder {
+			for i := 0; i < cfg.RandomSetsPerSize; i++ {
+				set := make([]graph.Handle, 0, k)
+				t.inSet.Reset()
+				for len(set) < k {
+					h := hs[t.r.Intn(n)]
+					if t.inSet.Mark(h) {
+						set = append(set, h)
+					}
+				}
+				add(FamilyRandom, set)
+			}
+		}
+	}
+	if cfg.BFSSeeds > 0 {
+		maxBFS := cfg.MaxBFSSize
+		if maxBFS <= 0 || maxBFS > n/2 {
+			maxBFS = n / 2
+		}
+		if maxBFS < 1 {
+			maxBFS = 1
+		}
+		k := cfg.BFSSeeds
+		if k > n {
+			k = n
+		}
+		for _, seed := range lowDegreeSeeds(g, hs, k) {
+			ball := bfsOrder(g, seed, maxBFS, &t.inSet)
+			set := make([]graph.Handle, len(ball))
+			copy(set, ball)
+			add(FamilyBFS, set)
+		}
+	}
+	if cfg.GreedySeeds > 0 {
+		maxGreedy := cfg.MaxGreedySize
+		if maxGreedy <= 0 {
+			maxGreedy = defaultMaxGreedyTracked
+		}
+		if maxGreedy > n/2 {
+			maxGreedy = n / 2
+		}
+		if maxGreedy < 1 {
+			maxGreedy = 1
+		}
+		for i := 0; i < cfg.GreedySeeds; i++ {
+			seed := hs[t.r.Intn(n)]
+			add(FamilyGreedy, greedyGrow(g, seed, maxGreedy, t.r, func(int, int) {}))
+		}
+	}
+
+	// Install memberships first — the boundary scans must see every
+	// same-set co-member — then count each set's crossing edges with
+	// multiplicity (so that later per-edge decrements net out exactly).
+	for id := range t.sets {
+		st := &t.sets[id]
+		for _, h := range st.members {
+			t.addMember(h, uint32(id))
+		}
+		st.live = len(st.members)
+	}
+	for id := range t.sets {
+		st := &t.sets[id]
+		sid := uint32(id)
+		t.inSet.Reset()
+		for _, h := range st.members {
+			t.inSet.Mark(h)
+		}
+		for _, u := range st.members {
+			g.Neighbors(u, func(x graph.Handle) bool {
+				if !t.inSet.Has(x) {
+					t.appendOp(trackOp{kind: opIncr, slot: x.Slot, gen: x.Gen, set: sid})
+				}
+				return true
+			})
+		}
+	}
+	t.flush()
+}

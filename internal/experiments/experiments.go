@@ -106,9 +106,22 @@ type Config struct {
 	// (graph.WireSnapshotEdgesPar) across this many workers. 0 or 1 keeps
 	// runs serial — the right setting whenever Parallelism already
 	// saturates the cores with concurrent trials; raise it instead when an
-	// experiment is dominated by few huge broadcasts. Results are
-	// bit-identical at every setting.
+	// experiment is dominated by few huge broadcasts, or pass a negative
+	// value for the automatic GOMAXPROCS-and-n policy (the cmds' -floodpar
+	// 0). Results are bit-identical at every setting.
 	FloodParallelism int
+	// TrackExpansion switches the expansion experiments (F3/F4/F8/F9)
+	// from per-snapshot expansion.Estimate rescans to the event-driven
+	// expansion.Tracker: each trial tracks its witness families across a
+	// short churn window and reports the minima over time — a strictly
+	// stronger observation of the paper's "every snapshot expands" claims
+	// (Theorems 3.15/4.16). Default off: the committed EXPERIMENTS.md
+	// record uses the per-snapshot search.
+	TrackExpansion bool
+	// ExpansionParallelism shards the tracker's event application and
+	// re-seed scans (expansion.TrackerConfig.Parallelism): 0 or 1 serial,
+	// negative auto. Tracked results are bit-identical at every setting.
+	ExpansionParallelism int
 }
 
 // floodOpts stamps the intra-flood sharding knob onto a flood

@@ -168,6 +168,9 @@ func newEngine(m core.Model, opts Options) *engine {
 		maxRounds = DefaultMaxRounds(m.N())
 	}
 	par := opts.Parallelism
+	if par < 0 {
+		par = AutoParallelism(m.N())
+	}
 	if par < 1 {
 		par = 1
 	}
@@ -448,21 +451,10 @@ func (sh *engineShard) admitFrozen(e *engine) {
 func (e *engine) run() Result {
 	m, g := e.m, e.g
 	prev := m.Hooks()
-	m.SetHooks(core.Hooks{
-		OnBirth: prev.OnBirth, // newborns are uninformed; their edges arrive via OnEdge
-		OnDeath: func(h graph.Handle) {
-			e.noteDeath(h)
-			if prev.OnDeath != nil {
-				prev.OnDeath(h)
-			}
-		},
-		OnEdge: func(u, v graph.Handle) {
-			e.noteEdge(u, v)
-			if prev.OnEdge != nil {
-				prev.OnEdge(u, v)
-			}
-		},
-	})
+	// Newborns are uninformed, so the engine needs no OnBirth of its own;
+	// their edges arrive via OnEdge. Chaining keeps any earlier observer —
+	// a caller's hooks, an expansion.Tracker — on the stream for the run.
+	m.SetHooks(core.ChainHooks(core.Hooks{OnDeath: e.noteDeath, OnEdge: e.noteEdge}, prev))
 	defer m.SetHooks(prev)
 
 	e.res = Result{

@@ -80,13 +80,28 @@ type Options struct {
 	// partitioned by arena slot range, and the frontier drain, the
 	// freeze/compaction pass and the admission sweep fan out across the
 	// shards (see engine.go, "Sharded execution"). 0 or 1 runs the serial
-	// engine. Results are bit-for-bit identical at every setting — the
-	// knob trades goroutine overhead for multi-core wall clock within a
-	// single broadcast, complementing the trial-level parallelism of
-	// internal/runner (use one or the other; they compose
-	// multiplicatively). RunReference ignores it.
+	// engine; Auto (any negative value) picks the shard count from
+	// GOMAXPROCS and the model size via AutoParallelism. Results are
+	// bit-for-bit identical at every setting — the knob trades goroutine
+	// overhead for multi-core wall clock within a single broadcast,
+	// complementing the trial-level parallelism of internal/runner (use
+	// one or the other; they compose multiplicatively). RunReference
+	// ignores it.
 	Parallelism int
 }
+
+// Auto, assigned to Options.Parallelism, selects the automatic worker-shard
+// policy: the engine resolves it to AutoParallelism(model.N()) at run
+// start. The cmds' -floodpar 0 maps here.
+const Auto = -1
+
+// AutoParallelism returns the worker-shard count the Auto policy picks for
+// a network of nominal size n: one shard per 32Ki arena slots, clamped to
+// [1, GOMAXPROCS] — small networks stay serial (goroutine and barrier
+// overhead beats the per-slot work), large ones take every core. The
+// result only spends cores; every Result is bit-for-bit identical at any
+// setting (TestAutoParallelismInvariance).
+func AutoParallelism(n int) int { return graph.AutoWorkers(n) }
 
 // DefaultMaxRounds returns the default round cap for a network of nominal
 // size n: generous against the paper's O(log n) completion results while

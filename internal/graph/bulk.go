@@ -2,9 +2,34 @@ package graph
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 )
+
+// autoWorkerSlotQuota is the minimum per-worker slot count the AutoWorkers
+// policy aims for: below it, goroutine spawn and barrier overhead on the
+// sharded passes outweighs the per-slot work they parallelize.
+const autoWorkerSlotQuota = 1 << 15
+
+// AutoWorkers returns the worker-shard count the automatic parallelism
+// policy picks for a structure of roughly n slots: one worker per
+// autoWorkerSlotQuota slots, at least 1 and at most GOMAXPROCS. It backs
+// every "0 = auto" parallelism knob (the cmds' -floodpar 0, the negative
+// Parallelism sentinels of flood.Options and expansion.TrackerConfig, and
+// negative worker counts here and in core.SampleStationaryPar): results
+// are bit-for-bit identical at every worker count, so the policy only
+// chooses how many cores to spend, never what is computed.
+func AutoWorkers(n int) int {
+	w := n / autoWorkerSlotQuota
+	if max := runtime.GOMAXPROCS(0); w > max {
+		w = max
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
 
 // WireSnapshotEdges bulk-installs request edges into a freshly built
 // snapshot. The graph must have been constructed by AddNode calls alone:
@@ -43,10 +68,14 @@ func (g *Graph) WireSnapshotEdges(starts []int32, targets []uint32) {
 // turns them into exact disjoint cursors for the in pass, so the filled
 // arenas — including the in-list order within every node — are bit-for-bit
 // what the serial pass builds, at any worker count (pinned by
-// TestWireSnapshotEdgesParMatchesSerial). workers <= 1 runs serially; the
-// sharded path costs ~4·workers·NumSlots() bytes of transient count rows.
+// TestWireSnapshotEdgesParMatchesSerial). workers == 0 or 1 runs serially,
+// negative selects AutoWorkers(NumSlots()); the sharded path costs
+// ~4·workers·NumSlots() bytes of transient count rows.
 func (g *Graph) WireSnapshotEdgesPar(starts []int32, targets []uint32, workers int) {
 	nSlots := len(g.nodes)
+	if workers < 0 {
+		workers = AutoWorkers(nSlots)
+	}
 	if len(starts) != nSlots+1 {
 		panic("graph: WireSnapshotEdges starts must have NumSlots()+1 entries")
 	}

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"runtime"
 	"testing"
 
 	"github.com/dyngraph/churnnet/internal/rng"
@@ -130,6 +131,58 @@ func TestWireSnapshotEdgesParMatchesSerial(t *testing.T) {
 						t.Fatalf("n=%d workers=%d slot %d: in source %d differs (order)", n, workers, s, i)
 					}
 				}
+			}
+		}
+	}
+}
+
+// TestAutoWorkersPolicy pins the shared auto-parallelism policy: always
+// within [1, GOMAXPROCS], serial below the per-worker slot quota, and
+// monotone non-decreasing in n.
+func TestAutoWorkersPolicy(t *testing.T) {
+	max := runtime.GOMAXPROCS(0)
+	prev := 0
+	for _, n := range []int{-5, 0, 100, autoWorkerSlotQuota - 1, autoWorkerSlotQuota,
+		4 * autoWorkerSlotQuota, 1 << 22} {
+		w := AutoWorkers(n)
+		if w < 1 || w > max {
+			t.Fatalf("AutoWorkers(%d) = %d, want within [1, %d]", n, w, max)
+		}
+		if w < prev {
+			t.Fatalf("AutoWorkers not monotone: %d at n=%d after %d", w, n, prev)
+		}
+		prev = w
+	}
+	if AutoWorkers(autoWorkerSlotQuota-1) != 1 {
+		t.Fatal("sub-quota networks must stay serial")
+	}
+}
+
+// TestWireSnapshotEdgesAutoWorkers checks that a negative worker count
+// resolves through AutoWorkers and still builds the serial layout.
+func TestWireSnapshotEdgesAutoWorkers(t *testing.T) {
+	const n = 500
+	starts, targets := buildSpec(n, 4, rng.New(99))
+	auto, ah := freshNodes(n)
+	auto.WireSnapshotEdgesPar(starts, targets, -1)
+	ser, sh := freshNodes(n)
+	ser.WireSnapshotEdges(starts, targets)
+	if err := auto.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < n; s++ {
+		var oa, os []uint32
+		auto.OutTargets(ah[s], func(h Handle) bool { oa = append(oa, h.Slot); return true })
+		ser.OutTargets(sh[s], func(h Handle) bool { os = append(os, h.Slot); return true })
+		if len(oa) != len(os) {
+			t.Fatalf("slot %d: out degree differs under auto workers", s)
+		}
+		oa, os = oa[:0], os[:0]
+		auto.InSources(ah[s], func(h Handle) bool { oa = append(oa, h.Slot); return true })
+		ser.InSources(sh[s], func(h Handle) bool { os = append(os, h.Slot); return true })
+		for i := range oa {
+			if oa[i] != os[i] {
+				t.Fatalf("slot %d: in source %d differs under auto workers", s, i)
 			}
 		}
 	}

@@ -1,0 +1,64 @@
+package overlay
+
+import (
+	"testing"
+
+	"github.com/dyngraph/churnnet/internal/core"
+	"github.com/dyngraph/churnnet/internal/graph"
+	"github.com/dyngraph/churnnet/internal/rng"
+)
+
+// TestOverlayDialEdgeEvents pins the overlay's side of the edge-event
+// contract: every dialed connection — bootstrap dials of a newborn and
+// maintenance redials after peer loss — fires OnEdge with both endpoints
+// alive, and an event-maintained edge ledger balances with the graph
+// exactly as it does for the core models (see the hook-contract tests in
+// internal/core). Incremental observers (the flooding engine, the
+// expansion tracker) depend on this to ride the overlay unchanged.
+func TestOverlayDialEdgeEvents(t *testing.T) {
+	o := New(Config{N: 300, D: 8, MaxIn: 64}, rng.New(1))
+	o.WarmUp()
+	g := o.Graph()
+
+	edges := g.NumEdgesLive()
+	onEdge, deaths := 0, 0
+	o.SetHooks(core.Hooks{
+		OnDeath: func(h graph.Handle) {
+			deaths++
+			edges -= g.DegreeLive(h)
+		},
+		OnEdge: func(u, v graph.Handle) {
+			if !g.IsAlive(u) || !g.IsAlive(v) {
+				t.Fatal("overlay OnEdge fired with a dead endpoint")
+			}
+			onEdge++
+			edges++
+		},
+	})
+	for round := 1; round <= 40; round++ {
+		o.AdvanceRound()
+		if got := g.NumEdgesLive(); got != edges {
+			t.Fatalf("round %d: event ledger has %d edges, graph has %d (onEdge %d, deaths %d)",
+				round, edges, got, onEdge, deaths)
+		}
+	}
+	if onEdge == 0 || deaths == 0 {
+		t.Fatalf("stream too quiet to pin the dial paths (onEdge %d, deaths %d)", onEdge, deaths)
+	}
+}
+
+// TestOverlayChainedObservers chains two counting observers over the
+// overlay's dial stream; both must see every event.
+func TestOverlayChainedObservers(t *testing.T) {
+	o := New(Config{N: 200, D: 6, MaxIn: 64}, rng.New(2))
+	o.WarmUp()
+	var inner, outer int
+	o.SetHooks(core.Hooks{OnEdge: func(u, v graph.Handle) { inner++ }})
+	o.SetHooks(core.ChainHooks(core.Hooks{OnEdge: func(u, v graph.Handle) { outer++ }}, o.Hooks()))
+	for i := 0; i < 20; i++ {
+		o.AdvanceRound()
+	}
+	if inner == 0 || inner != outer {
+		t.Fatalf("chained overlay observers diverged: inner %d, outer %d", inner, outer)
+	}
+}
