@@ -193,6 +193,55 @@ func AutoParallelism(n int) int { return flood.AutoParallelism(n) }
 // the edge-event contract fall back to the reference scan transparently.
 func Flood(m Model, opts FloodOptions) FloodResult { return flood.Run(m, opts) }
 
+// --- multi-message traffic ---
+
+// Traffic is the multi-message traffic plane: M in-flight broadcasts over
+// one model, one churn event stream and one hook chain, with the
+// cut-maintenance passes batched across messages inside the same
+// worker-shard sweep a single flood uses. Inject admits a message at the
+// current round, Step advances the network one transmission unit for every
+// in-flight message, and Retire releases a finished message's state so
+// memory stays O(live messages). Per-message Results are bit-for-bit what
+// M independent Flood calls replaying the same churn stream would produce
+// (see DESIGN.md, "Multi-message traffic plane").
+type Traffic = flood.Traffic
+
+// TrafficOptions configures a traffic plane; options apply uniformly to
+// every injected message. The Parallelism knob has the FloodOptions
+// contract: 0 or 1 serial, FloodAuto (negative) automatic, identical
+// results at every setting.
+type TrafficOptions = flood.TrafficOptions
+
+// MessageID identifies a message admitted to a Traffic plane; IDs are
+// dense in admission order and never reused.
+type MessageID = flood.MessageID
+
+// MessageStatus is the lifecycle state of an injected message.
+type MessageStatus = flood.MessageStatus
+
+// Message lifecycle states.
+const (
+	// MessageInFlight marks a message that still floods on every Step.
+	MessageInFlight = flood.MessageInFlight
+	// MessageDone marks a finished message whose lane awaits Retire.
+	MessageDone = flood.MessageDone
+	// MessageRetired marks a released lane; the Result stays queryable.
+	MessageRetired = flood.MessageRetired
+)
+
+// NewTraffic opens a traffic plane over m. The plane owns the model until
+// Close: advance it only through Step. It panics if the model does not
+// implement the edge-event contract (all built-in models do).
+func NewTraffic(m Model, opts TrafficOptions) *Traffic { return flood.NewTraffic(m, opts) }
+
+// TrafficSchedule generates the injection steps of a named schedule —
+// "burst" (all messages at step 0), "staggered" (one every gap steps) or
+// "poisson" (Poisson arrivals at rate 1/gap), deterministic in the seed.
+// Message i of the returned slice is injected after that many plane Steps.
+func TrafficSchedule(schedule string, messages, gap int, seed uint64) ([]int, error) {
+	return flood.TrafficSchedule(schedule, messages, gap, seed)
+}
+
 // --- expansion ---
 
 // ExpansionConfig tunes the witness search of EstimateExpansion.

@@ -262,3 +262,48 @@ func TestTableOneShapeIntegration(t *testing.T) {
 		t.Fatal("SDGR must complete")
 	}
 }
+
+// TestTrafficFacade exercises the multi-message traffic plane through the
+// public API: a staggered schedule of broadcasts over one churn stream,
+// each delivering (the regime of TestQuickstartFlow), with retirement
+// releasing finished messages while later ones are still in flight.
+func TestTrafficFacade(t *testing.T) {
+	m := churnnet.NewWarmModel(churnnet.SDGR, 500, 21, 1)
+	tr := churnnet.NewTraffic(m, churnnet.TrafficOptions{Parallelism: churnnet.FloodAuto})
+	defer tr.Close()
+
+	steps, err := churnnet.TrafficSchedule("staggered", 3, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []churnnet.MessageID
+	next := 0
+	for step := 0; next < len(steps) || tr.Live() > 0; step++ {
+		for next < len(steps) && steps[next] == step {
+			ids = append(ids, tr.Inject(churnnet.Handle{}))
+			next++
+		}
+		tr.Step()
+		// Retire messages as they finish — the production pattern.
+		for _, id := range ids {
+			if tr.Status(id) == churnnet.MessageDone {
+				tr.Retire(id)
+			}
+		}
+		if step > 200 {
+			t.Fatal("traffic plane did not drain")
+		}
+	}
+	if tr.Injected() != 3 {
+		t.Fatalf("injected %d messages, want 3", tr.Injected())
+	}
+	for i, id := range ids {
+		if tr.Status(id) != churnnet.MessageRetired {
+			t.Fatalf("message %d not retired: %v", i, tr.Status(id))
+		}
+		res := tr.Result(id)
+		if !res.Completed || res.CompletionRound <= 0 || res.CompletionRound > 30 {
+			t.Fatalf("message %d: %+v", i, res)
+		}
+	}
+}

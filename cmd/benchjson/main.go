@@ -37,6 +37,17 @@
 //     closed-form stationary law, so the warm-up is simulated (minutes at
 //     n = 10⁶; use -reps 1).
 //
+//   - traffic: the multi-message traffic plane (flood.Traffic) — M
+//     concurrent broadcasts injected per a burst/staggered/poisson schedule
+//     over one churn stream, messages retired as they deliver — the
+//     BENCH_traffic.json record: messages fully delivered per wall-second
+//     at n = 10⁶ under churn, plus the completion-round histogram per
+//     injection rate. Every row carries an oracle_equal audit column: each
+//     of the row's messages is replayed as an independent single-message
+//     flood.Run on an identically seeded model and the per-message Results
+//     must be bit-for-bit equal, so a throughput number can never hide a
+//     cross-message bookkeeping bug.
+//
 //   - expansion: the incremental expansion-witness tracker
 //     (expansion.Tracker) against per-snapshot expansion.Estimate rescans
 //     on identically seeded models — the BENCH_expansion.json record
@@ -57,6 +68,8 @@
 //	benchjson -bench edgerate -scale large -reps 1 -out BENCH_edgerate.json
 //	benchjson -bench expansion -out BENCH_expansion.json   # smoke scale (CI)
 //	benchjson -bench expansion -scale large -reps 1 -out BENCH_expansion.json
+//	benchjson -bench traffic -out BENCH_traffic.json       # smoke scale (CI)
+//	benchjson -bench traffic -scale large -reps 1 -out BENCH_traffic.json
 package main
 
 import (
@@ -135,7 +148,7 @@ type output struct {
 
 func main() {
 	var (
-		bench    = flag.String("bench", "flood", "flood (engine vs reference), warmup (WarmUp vs SampleStationary), floodpar (serial vs sharded engine + parallel snapshot wiring), edgerate (cut-event feed under bounded-degree policies) or expansion (incremental tracker vs per-snapshot Estimate)")
+		bench    = flag.String("bench", "flood", "flood (engine vs reference), warmup (WarmUp vs SampleStationary), floodpar (serial vs sharded engine + parallel snapshot wiring), edgerate (cut-event feed under bounded-degree policies), expansion (incremental tracker vs per-snapshot Estimate) or traffic (multi-message plane vs per-message single-flood oracle)")
 		out      = flag.String("out", "", "output path (- for stdout; default BENCH_<bench>.json)")
 		scale    = flag.String("scale", "smoke", "smoke (CI, seconds) or large (the committed 10k..10M record)")
 		seed     = flag.Uint64("seed", 1, "deterministic seed")
@@ -165,8 +178,10 @@ func main() {
 		runEdgeRateBench(*out, *scale, *seed, *reps)
 	case "expansion":
 		runExpansionBench(*out, *scale, *seed, *reps)
+	case "traffic":
+		runTrafficBench(*out, *scale, *seed, *reps)
 	default:
-		fmt.Fprintf(os.Stderr, "benchjson: unknown -bench %q (want flood, warmup, floodpar, edgerate or expansion)\n", *bench)
+		fmt.Fprintf(os.Stderr, "benchjson: unknown -bench %q (want flood, warmup, floodpar, edgerate, expansion or traffic)\n", *bench)
 		os.Exit(2)
 	}
 }
@@ -1090,4 +1105,230 @@ func rescanMatches(g *graph.Graph, tr *expansion.Tracker) bool {
 		}
 	}
 	return true
+}
+
+// --- the multi-message traffic benchmark (-bench traffic) ---
+
+type trafficCase struct {
+	kind     core.Kind
+	n, d     int
+	messages int
+	schedule string
+	gap      int
+	par      int
+}
+
+type trafficResult struct {
+	Model    string `json:"model"`
+	N        int    `json:"n"`
+	D        int    `json:"d"`
+	Schedule string `json:"schedule"`
+	// Gap is the injection spacing: rounds between injections (staggered)
+	// or the mean inter-arrival (poisson); 1 for burst.
+	Gap      int    `json:"gap"`
+	Messages int    `json:"messages"`
+	Seed     uint64 `json:"seed"`
+	Reps     int    `json:"reps"`
+	// Par is the plane's worker-shard count (TrafficOptions.Parallelism,
+	// resolved; the Auto policy picks from GOMAXPROCS and n).
+	Par int `json:"par"`
+
+	// BuildNs times core.SampleStationaryPar; TrafficNs covers the whole
+	// plane run — injections, Steps until every message finished, prompt
+	// retirement of delivered messages. Both are minima over reps,
+	// GC-isolated.
+	BuildNs   int64 `json:"build_ns"`
+	TrafficNs int64 `json:"traffic_ns"`
+
+	// Steps is the plane rounds executed; Delivered counts messages that
+	// completed (Definition 3.3); DeliveredPerSec divides by the traffic
+	// wall time — the headline throughput number.
+	Steps           int     `json:"steps"`
+	Delivered       int     `json:"delivered"`
+	DeliveredPerSec float64 `json:"delivered_per_sec"`
+
+	// CompletionHistogram counts delivered messages per completion round
+	// (relative to each message's injection): index r holds the messages
+	// that completed in round r. Index 0 is structurally empty (completion
+	// is checked after round 1 at the earliest) and kept so indexes read
+	// as rounds.
+	CompletionHistogram []int `json:"completion_histogram"`
+
+	// OracleNs times the audit: every message of the first repetition
+	// replayed as an independent single-message flood.Run on an
+	// identically seeded model advanced to the injection round. OracleEqual
+	// confirms every per-message Result was bit-for-bit equal — the run
+	// aborts otherwise, so a committed record can never carry false.
+	OracleNs    int64 `json:"oracle_ns"`
+	OracleEqual bool  `json:"oracle_equal"`
+}
+
+type trafficOutput struct {
+	Benchmark  string          `json:"benchmark"`
+	Scale      string          `json:"scale"`
+	GoVersion  string          `json:"go_version"`
+	GOOS       string          `json:"goos"`
+	GOARCH     string          `json:"goarch"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Generated  string          `json:"generated"`
+	Cases      []trafficResult `json:"cases"`
+}
+
+// runTrafficBench measures the multi-message traffic plane: delivered
+// messages per wall-second and the completion-round histogram across
+// injection schedules, with every row audited against the per-message
+// single-flood oracle. Models are built by stationary sampling (the plane
+// contract is warm-up-agnostic); identical seeds rebuild identical models
+// for the oracle replays.
+func runTrafficBench(out, scale string, seed uint64, reps int) {
+	var cases []trafficCase
+	switch scale {
+	case "smoke":
+		cases = []trafficCase{
+			{kind: core.SDGR, n: 2000, d: 21, messages: 6, schedule: "burst", gap: 1, par: 1},
+			{kind: core.SDGR, n: 2000, d: 21, messages: 6, schedule: "staggered", gap: 2, par: 2},
+			{kind: core.PDGR, n: 2000, d: 35, messages: 6, schedule: "poisson", gap: 2, par: 1},
+		}
+	case "large":
+		cases = []trafficCase{
+			{kind: core.SDGR, n: 1000000, d: 21, messages: 16, schedule: "burst", gap: 1, par: flood.Auto},
+			{kind: core.SDGR, n: 1000000, d: 21, messages: 16, schedule: "staggered", gap: 1, par: flood.Auto},
+			{kind: core.SDGR, n: 1000000, d: 21, messages: 16, schedule: "staggered", gap: 2, par: flood.Auto},
+			{kind: core.SDGR, n: 1000000, d: 21, messages: 16, schedule: "staggered", gap: 4, par: flood.Auto},
+			{kind: core.PDGR, n: 1000000, d: 35, messages: 16, schedule: "poisson", gap: 2, par: flood.Auto},
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "benchjson: unknown -scale %q (want smoke or large)\n", scale)
+		os.Exit(2)
+	}
+
+	o := trafficOutput{
+		Benchmark:  "traffic: multi-message plane vs per-message single-flood oracle",
+		Scale:      scale,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, c := range cases {
+		o.Cases = append(o.Cases, runTrafficCase(c, seed, reps))
+	}
+	writeJSON(out, o, len(o.Cases))
+}
+
+// trafficSource picks the injection source the way Flood defaults do —
+// the most recently born node — falling back to the newest alive node
+// when churn already evicted it (possible in Poisson models). Both are
+// deterministic functions of the snapshot, and the oracle replays the
+// recorded handle, so any deterministic rule is exact.
+func trafficSource(m core.Model) graph.Handle {
+	if src := m.LastBorn(); m.Graph().IsAlive(src) {
+		return src
+	}
+	return m.Graph().Newest()
+}
+
+// trafficInjectionRecord remembers one admitted message for the oracle.
+type trafficInjectionRecord struct {
+	step int
+	src  graph.Handle
+	res  flood.Result
+}
+
+func runTrafficCase(c trafficCase, seed uint64, reps int) trafficResult {
+	fmt.Fprintf(os.Stderr, "benchjson: traffic %s n=%d d=%d %s gap=%d M=%d...\n",
+		c.kind, c.n, c.d, c.schedule, c.gap, c.messages)
+	tr := trafficResult{
+		Model: c.kind.String(), N: c.n, D: c.d,
+		Schedule: c.schedule, Gap: c.gap, Messages: c.messages,
+		Seed: seed, Reps: reps,
+	}
+	opts := flood.TrafficOptions{Parallelism: c.par}
+	if c.par < 0 {
+		tr.Par = flood.AutoParallelism(c.n)
+	} else {
+		tr.Par = c.par
+	}
+
+	var first []trafficInjectionRecord
+	for rep := 0; rep < reps; rep++ {
+		repSeed := seed + uint64(rep)
+		steps, err := flood.TrafficSchedule(c.schedule, c.messages, c.gap, repSeed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+
+		runtime.GC()
+		t0 := time.Now()
+		m := core.SampleStationaryPar(c.kind, c.n, c.d, rng.New(repSeed), tr.Par)
+		buildNs := int64(time.Since(t0))
+		if rep == 0 || buildNs < tr.BuildNs {
+			tr.BuildNs = buildNs
+		}
+
+		runtime.GC()
+		t0 = time.Now()
+		plane := flood.NewTraffic(m, opts)
+		recs := make([]trafficInjectionRecord, 0, len(steps))
+		ids := make([]flood.MessageID, 0, len(steps))
+		next := 0
+		for next < len(steps) || plane.Live() > 0 {
+			for next < len(steps) && steps[next] == plane.Steps() {
+				src := trafficSource(m)
+				ids = append(ids, plane.Inject(src))
+				recs = append(recs, trafficInjectionRecord{step: plane.Steps(), src: src})
+				next++
+			}
+			plane.Step()
+			for i, id := range ids {
+				if plane.Status(id) == flood.MessageDone {
+					recs[i].res = plane.Result(id)
+					plane.Retire(id)
+				}
+			}
+		}
+		planeSteps := plane.Steps()
+		plane.Close()
+		trafficNs := int64(time.Since(t0))
+		if rep == 0 || trafficNs < tr.TrafficNs {
+			tr.TrafficNs = trafficNs
+		}
+		if rep == 0 {
+			tr.Steps = planeSteps
+			first = recs
+		}
+	}
+
+	for _, rec := range first {
+		if rec.res.Completed {
+			tr.Delivered++
+			for len(tr.CompletionHistogram) <= rec.res.CompletionRound {
+				tr.CompletionHistogram = append(tr.CompletionHistogram, 0)
+			}
+			tr.CompletionHistogram[rec.res.CompletionRound]++
+		}
+	}
+	tr.DeliveredPerSec = float64(tr.Delivered) / (float64(tr.TrafficNs) / 1e9)
+
+	// The oracle audit: every message of the first repetition replayed as
+	// an independent single-message run on an identically seeded model.
+	t0 := time.Now()
+	tr.OracleEqual = true
+	for i, rec := range first {
+		m := core.SampleStationaryPar(c.kind, c.n, c.d, rng.New(seed), tr.Par)
+		for s := 0; s < rec.step; s++ {
+			m.AdvanceRound()
+		}
+		want := flood.Run(m, flood.Options{Source: rec.src, Parallelism: tr.Par})
+		if !reflect.DeepEqual(rec.res, want) {
+			tr.OracleEqual = false
+			fmt.Fprintf(os.Stderr, "benchjson: ERROR: traffic message %d diverged from its single-flood replay for %s n=%d %s\n",
+				i, c.kind, c.n, c.schedule)
+			os.Exit(1)
+		}
+	}
+	tr.OracleNs = int64(time.Since(t0))
+	return tr
 }

@@ -55,6 +55,29 @@ func TestFloodparEqualityColumnsSmoke(t *testing.T) {
 	assertFloodparEquality(t, &o, "smoke run")
 }
 
+// TestTrafficEqualityColumnsSmoke regenerates the traffic record at smoke
+// scale and asserts every row's oracle_equal audit column is true — the
+// per-message differential oracle the traffic plane ships with, kept as a
+// CI-visible column so a regenerated record can never hide a cross-message
+// bookkeeping divergence. (Divergence also aborts the run with exit 1; the
+// column check keeps the guarantee even if that aborting path regresses.)
+func TestTrafficEqualityColumnsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("traffic smoke bench skipped in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "traffic.json")
+	runTrafficBench(out, "smoke", 1, 1)
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var o trafficOutput
+	if err := json.Unmarshal(data, &o); err != nil {
+		t.Fatal(err)
+	}
+	assertTrafficEquality(t, &o, "smoke run")
+}
+
 // TestCommittedRecordsEqualityColumns parses the committed benchmark
 // records and asserts their equality columns are all true, so a record
 // regenerated elsewhere (e.g. the multi-core CI job) cannot be committed
@@ -71,6 +94,17 @@ func TestCommittedRecordsEqualityColumns(t *testing.T) {
 			t.Fatal(err)
 		}
 		assertFloodparEquality(t, &o, "committed record")
+	})
+	t.Run("traffic", func(t *testing.T) {
+		data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_traffic.json"))
+		if err != nil {
+			t.Skipf("no committed BENCH_traffic.json: %v", err)
+		}
+		var o trafficOutput
+		if err := json.Unmarshal(data, &o); err != nil {
+			t.Fatal(err)
+		}
+		assertTrafficEquality(t, &o, "committed record")
 	})
 	t.Run("expansion", func(t *testing.T) {
 		data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_expansion.json"))
@@ -90,6 +124,23 @@ func TestCommittedRecordsEqualityColumns(t *testing.T) {
 			}
 		}
 	})
+}
+
+func assertTrafficEquality(t *testing.T, o *trafficOutput, tag string) {
+	t.Helper()
+	if len(o.Cases) == 0 {
+		t.Fatalf("%s: empty traffic record", tag)
+	}
+	for _, c := range o.Cases {
+		if !c.OracleEqual {
+			t.Errorf("%s: %s n=%d %s gap=%d: oracle_equal is false",
+				tag, c.Model, c.N, c.Schedule, c.Gap)
+		}
+		if c.Delivered > 0 && c.DeliveredPerSec <= 0 {
+			t.Errorf("%s: %s n=%d %s: delivered %d but delivered_per_sec %v",
+				tag, c.Model, c.N, c.Schedule, c.Delivered, c.DeliveredPerSec)
+		}
+	}
 }
 
 func assertFloodparEquality(t *testing.T, o *floodparOutput, tag string) {

@@ -29,3 +29,33 @@ func TestValidateFlags(t *testing.T) {
 		}
 	}
 }
+
+// TestValidateTrafficFlags pins the -traffic mode guard rails: invalid
+// message counts, gaps and schedule names must be rejected before any
+// network is built (main turns the error into a usage exit with status 2),
+// and every supported schedule must pass with -floodpar semantics
+// unchanged from single-message mode.
+func TestValidateTrafficFlags(t *testing.T) {
+	cases := []struct {
+		name      string
+		messages  int
+		schedule  string
+		injectGap int
+		wantErr   bool
+	}{
+		{"burst defaults", 8, "burst", 1, false},
+		{"staggered", 16, "staggered", 2, false},
+		{"poisson", 16, "poisson", 4, false},
+		{"zero messages", 0, "burst", 1, true},
+		{"negative messages", -2, "burst", 1, true},
+		{"zero gap", 8, "staggered", 0, true},
+		{"negative gap", 8, "poisson", -1, true},
+		{"unknown schedule", 8, "warp", 1, true},
+	}
+	for _, c := range cases {
+		err := validateTrafficFlags(c.messages, c.schedule, c.injectGap)
+		if (err != nil) != c.wantErr {
+			t.Errorf("%s: validateTrafficFlags = %v, wantErr %v", c.name, err, c.wantErr)
+		}
+	}
+}

@@ -100,8 +100,8 @@ func (l *edgeLedger) check(t *testing.T, tag string, round int) {
 // paths — is pinned to fire exactly once per edge change.
 func TestEdgeEventLedgerAllModels(t *testing.T) {
 	build := []struct {
-		tag  string
-		mk   func() Model
+		tag string
+		mk  func() Model
 	}{
 		{"SDG", func() Model { return New(SDG, 120, 5, rng.New(1)) }},
 		{"SDGR", func() Model { return New(SDGR, 120, 5, rng.New(2)) }},

@@ -267,8 +267,8 @@ type Tracker struct {
 
 	member []slotSets // hook plane, indexed by arena slot
 
-	bnd    []slotBnd    // flush plane, indexed by arena slot
-	ops    [][]trackOp  // pending ops, one log per owner shard
+	bnd    []slotBnd   // flush plane, indexed by arena slot
+	ops    [][]trackOp // pending ops, one log per owner shard
 	nOps   int
 	deltas [][]int64 // per shard: per-set boundary deltas of one flush
 

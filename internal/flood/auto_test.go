@@ -30,6 +30,31 @@ func TestAutoParallelismPolicy(t *testing.T) {
 	}
 }
 
+// TestResolveParallelism pins the shared normalization rule every engine
+// entry point (single-message engine, traffic plane) routes through: ANY
+// negative value selects the Auto policy — not just the Auto constant —
+// and 0 runs serial. Negative values used to be honored only on the auto
+// path; resolveParallelism is the uniform fix.
+func TestResolveParallelism(t *testing.T) {
+	const n = 1 << 20
+	auto := AutoParallelism(n)
+	cases := []struct{ par, want int }{
+		{Auto, auto},
+		{-7, auto}, // any negative, not just the Auto constant
+		{0, 1},
+		{1, 1},
+		{6, 6},
+	}
+	for _, c := range cases {
+		if got := resolveParallelism(c.par, n); got != c.want {
+			t.Errorf("resolveParallelism(%d, %d) = %d, want %d", c.par, n, got, c.want)
+		}
+	}
+	if got := resolveParallelism(-3, 1000); got != 1 {
+		t.Errorf("negative par on a small network must resolve serial, got %d", got)
+	}
+}
+
 // TestAutoParallelismInvariance pins the -floodpar 0 contract: a flood
 // run with Options.Parallelism = Auto produces bit-for-bit the serial
 // engine's Result (the policy resolves before the engine starts; results

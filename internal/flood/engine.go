@@ -167,13 +167,7 @@ func newEngine(m core.Model, opts Options) *engine {
 	if maxRounds <= 0 {
 		maxRounds = DefaultMaxRounds(m.N())
 	}
-	par := opts.Parallelism
-	if par < 0 {
-		par = AutoParallelism(m.N())
-	}
-	if par < 1 {
-		par = 1
-	}
+	par := resolveParallelism(opts.Parallelism, m.N())
 	e := &engine{m: m, g: g, opts: opts, par: par, maxRounds: maxRounds, src: src}
 	e.shards = make([]engineShard, par)
 	e.growTo(g.NumSlots())
@@ -205,13 +199,20 @@ func (e *engine) growTo(n int) {
 // writes to shard-owned state (or disjoint staging slots) — the barrier is
 // the only synchronization.
 func (e *engine) forEachShard(fn func(w int)) {
-	if e.par == 1 {
+	forEachWorker(e.par, fn)
+}
+
+// forEachWorker is the shard fan-out shared by the single-message engine
+// and the traffic plane: inline for par == 1, one goroutine per worker
+// index otherwise, returning at the barrier.
+func forEachWorker(par int, fn func(w int)) {
+	if par == 1 {
 		fn(0)
 		return
 	}
 	var wg sync.WaitGroup
-	wg.Add(e.par)
-	for w := 0; w < e.par; w++ {
+	wg.Add(par)
+	for w := 0; w < par; w++ {
 		go func(w int) {
 			defer wg.Done()
 			fn(w)

@@ -103,6 +103,21 @@ const Auto = -1
 // setting (TestAutoParallelismInvariance).
 func AutoParallelism(n int) int { return graph.AutoWorkers(n) }
 
+// resolveParallelism normalizes a Parallelism option the same way at every
+// engine entry point (newEngine, NewTraffic, and the expansion tracker's
+// equivalent): any negative value selects the Auto policy for a network of
+// nominal size n, and 0 runs serial — one worker shard. Centralizing the
+// rule keeps "negative means auto" uniform instead of a per-path accident.
+func resolveParallelism(par, n int) int {
+	if par < 0 {
+		par = AutoParallelism(n)
+	}
+	if par < 1 {
+		par = 1
+	}
+	return par
+}
+
 // DefaultMaxRounds returns the default round cap for a network of nominal
 // size n: generous against the paper's O(log n) completion results while
 // still detecting non-completion quickly.

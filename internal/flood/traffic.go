@@ -1,0 +1,842 @@
+package flood
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/dyngraph/churnnet/internal/core"
+	"github.com/dyngraph/churnnet/internal/dist"
+	"github.com/dyngraph/churnnet/internal/graph"
+	"github.com/dyngraph/churnnet/internal/rng"
+)
+
+// Traffic is the multi-message generalization of the cut-set engine: M
+// in-flight broadcasts share one model, one churn event stream and one
+// hook chain, instead of M sequential single-message runs each paying its
+// own model and advancement.
+//
+// Every message occupies a *lane* — an independent copy of the single
+// engine's per-message state (informed marks, pending frontier, per-slot
+// sender lists, the O(1) informedAlive completion counter) — while the
+// per-round quantities that are functions of the graph alone (the
+// pre-round population, the birth-sequence horizon) are maintained once
+// and shared by every lane. One Step advances the model by one
+// transmission unit and executes one flooding round for every in-flight
+// message:
+//
+//   - the combined frontier drain: the nodes that crossed any lane's cut
+//     since the last Step are deduplicated across lanes, each distinct
+//     node's neighborhood is scanned exactly once, and every discovered
+//     cut edge fans out to the lanes that queued the node (filtered per
+//     lane by its own informed marks);
+//   - one model advance, with OnDeath/OnEdge dispatched across the
+//     in-flight lanes from a single chained hook installation
+//     (core.ChainHooks keeps any earlier observer — a caller's hooks, an
+//     expansion.Tracker — on the stream);
+//   - per-lane freeze/admission exactly as in the single engine.
+//
+// Under Options.Parallelism-style sharding (TrafficOptions.Parallelism)
+// the three O(cut) passes batch *across messages* inside the same
+// per-slot-range worker sweep the single engine uses: worker w owns arena
+// slots (s/shardBlock) mod par == w for every lane at once, so one
+// barrier per pass covers all M messages instead of M barriers.
+//
+// # Determinism and the differential oracle
+//
+// A message injected when the plane has executed j Steps produces a
+// Result bit-for-bit identical to flood.Run on an identically seeded
+// model advanced j rounds, flooding from the same source with the same
+// Options — the multi-message run is indistinguishable, message by
+// message, from M independent single-message runs replaying the same
+// churn stream (flooding consumes no randomness, so the streams align).
+// This is pinned by TestTrafficMatchesSingleMessageOracle across models,
+// injection schedules, worker counts and seeds, with a corrupted-engine
+// negative control proving the harness has teeth.
+//
+// Internal orders differ from the single engine's — a lane's receiver
+// insertion order follows the combined scan order, not the lane's own
+// frontier order — but no Result bit depends on them: admission is an
+// existence test over a receiver's frozen senders and every Result field
+// is a count over admitted sets, the same argument that makes the single
+// engine's Results invariant across worker counts. The admission order of
+// messages injected in the same Step is likewise unobservable: lanes
+// never read each other's state, so permuting same-round Inject calls
+// permutes MessageIDs and nothing else (TestTrafficInjectionOrderInvariance).
+//
+// # Admission and retirement
+//
+// Inject admits a message (its lane allocates per-slot state lazily, and
+// the source's one-off neighborhood scan is deferred to the next Step's
+// freeze, exactly like the single engine). A message leaves the in-flight
+// set on its own terms — completion (unless RunToMax), die-out, or its
+// MaxRounds cap — after which its lane is dormant but still allocated;
+// Retire releases the lane's per-slot state for reuse by later
+// injections, keeping engine memory O(live messages) · O(slots) plus a
+// constant-size record per message ever injected (the Result survives
+// retirement). A reused lane starts from freshly allocated state, so late
+// injections behave bit-for-bit like a fresh engine
+// (TestTrafficRetireReleasesAndReuses).
+//
+// The plane owns the model between NewTraffic and Close: callers must not
+// advance the model themselves, and observer lifetimes must nest (Close
+// restores the hooks saved at NewTraffic).
+type Traffic struct {
+	m    core.Model
+	g    *graph.Graph
+	opts TrafficOptions
+	par  int // effective worker-shard count, >= 1
+
+	maxRounds int
+	prevHooks core.Hooks
+	closed    bool
+
+	steps int // plane rounds executed (Step calls)
+
+	msgs      []message // indexed by MessageID; constant-size each
+	lanes     []*lane   // lane slots; nil when retired
+	freeLanes []int     // retired lane slots available for reuse
+	inFlight  []int     // lane indices of in-flight messages, admission order
+
+	// Shared per-round state: functions of the graph and the round alone,
+	// identical for every lane (see engine.preRoundAlive).
+	preRoundAlive int
+	roundStartSeq uint64
+
+	// Combined frontier-drain staging. scanNodes holds the distinct nodes
+	// to scan this drain; scanLanes[k] the in-flight lane indices that
+	// queued scanNodes[k]; nodeIdx maps an arena slot to its scanNodes
+	// index during a drain (-1 outside one). Every frontier handle is
+	// alive at drain time (no event intervenes between a crossing and the
+	// next freeze), so a slot identifies at most one node per drain.
+	scanNodes []graph.Handle
+	scanLanes [][]int32
+	nodeIdx   []int32
+
+	// stage holds the parallel drain's routing buffers, exactly like the
+	// single engine's: chunk c stages the cut edges it discovers for
+	// shard s in stage[c*par+s].
+	stage     [][]laneCutEdge
+	chunkNext atomic.Int64
+	scratch   []graph.Marks // per-worker neighborhood-dedup scratch
+
+	// onStage, when non-nil, filters every discovered cut edge right
+	// before it is recorded for lane li (false = drop). Test-only: the
+	// corrupted-engine negative control drops one cross-message frontier
+	// event and asserts the differential oracle catches the divergence.
+	// Called from shard-owned merge context; serial unless par > 1.
+	onStage func(li int, recv, sender graph.Handle) bool
+}
+
+// TrafficOptions configures a Traffic plane. Every option applies
+// uniformly to all injected messages.
+type TrafficOptions struct {
+	// Mode selects Discretized (default) or Asynchronous semantics.
+	Mode Mode
+	// MaxRounds caps each message's rounds counted from its injection;
+	// 0 selects DefaultMaxRounds(model.N()).
+	MaxRounds int
+	// KeepTrajectory records per-round informed/alive counts per message.
+	KeepTrajectory bool
+	// RunToMax keeps completed messages flooding until their round cap.
+	RunToMax bool
+	// Parallelism is the worker-shard count of the batched cut passes,
+	// with the same contract as Options.Parallelism: 0 or 1 runs serial,
+	// any negative value selects the Auto policy, and per-message Results
+	// are bit-for-bit identical at every setting.
+	Parallelism int
+}
+
+// MessageID identifies one message admitted to a Traffic plane. IDs are
+// dense and monotone in admission order and are never reused, even when
+// the lane slot backing the message is.
+type MessageID int
+
+// MessageStatus is the lifecycle state of an injected message.
+type MessageStatus uint8
+
+// Message lifecycle states.
+const (
+	// MessageInFlight: the message still floods on every Step.
+	MessageInFlight MessageStatus = iota
+	// MessageDone: the message finished (completed, died out or hit its
+	// round cap); its lane is dormant until Retire.
+	MessageDone
+	// MessageRetired: the lane's per-slot state has been released; the
+	// Result remains queryable.
+	MessageRetired
+)
+
+// String names the status.
+func (s MessageStatus) String() string {
+	switch s {
+	case MessageInFlight:
+		return "in-flight"
+	case MessageDone:
+		return "done"
+	case MessageRetired:
+		return "retired"
+	default:
+		return fmt.Sprintf("MessageStatus(%d)", uint8(s))
+	}
+}
+
+// message is the constant-size per-message record that survives
+// retirement.
+type message struct {
+	laneIdx int // -1 after retirement
+	status  MessageStatus
+	step    int    // plane steps executed at injection
+	res     Result // final copy, written when the message finishes
+}
+
+// lane is one message's private flooding state — the single engine's
+// per-message fields, owned by exactly one in-flight message.
+type lane struct {
+	id  MessageID
+	src graph.Handle
+
+	round int // per-message rounds executed (relative to injection)
+
+	informed graph.Marks
+	frontier []graph.Handle
+
+	// Per-slot cut state, partitioned by shard ownership exactly like the
+	// single engine's: only the owner shard touches senders[s]/recvGen[s]
+	// during a parallel phase.
+	senders [][]graph.Handle
+	recvGen []uint32
+
+	shards []laneShard
+
+	informedAlive int
+	res           Result
+}
+
+// laneShard owns one shard's receiver-side bookkeeping for one lane.
+type laneShard struct {
+	receivers []graph.Handle
+	frozenLen []int
+	nFrozen   int
+	admitted  []graph.Handle
+}
+
+// laneCutEdge stages one discovered candidate edge for its receiver's
+// owner shard; scan indexes the drain's scanNodes/scanLanes (the sender
+// and the lanes the edge fans out to).
+type laneCutEdge struct {
+	recv graph.Handle
+	scan int32
+}
+
+// NewTraffic opens a multi-message traffic plane over m. It installs the
+// engine's hooks chained over any existing observer (restored by Close)
+// and panics if the model does not guarantee the edge-event contract of
+// core.EdgeEventSource — the incremental cut bookkeeping requires it, and
+// unlike Run there is no per-message reference fallback to hide behind.
+func NewTraffic(m core.Model, opts TrafficOptions) *Traffic {
+	if es, ok := m.(core.EdgeEventSource); !ok || !es.EmitsEdgeEvents() {
+		panic("flood: NewTraffic requires a model with the edge-event contract")
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds(m.N())
+	}
+	t := &Traffic{
+		m:         m,
+		g:         m.Graph(),
+		opts:      opts,
+		par:       resolveParallelism(opts.Parallelism, m.N()),
+		maxRounds: maxRounds,
+	}
+	t.scratch = make([]graph.Marks, t.par)
+	t.prevHooks = m.Hooks()
+	m.SetHooks(core.ChainHooks(core.Hooks{OnDeath: t.noteDeath, OnEdge: t.noteEdge}, t.prevHooks))
+	return t
+}
+
+// Close detaches the plane from the model's hook chain, restoring the
+// hooks saved at NewTraffic. In-flight messages stop flooding; every
+// finished message's Result stays queryable. Closing twice is a no-op.
+func (t *Traffic) Close() {
+	if t.closed {
+		return
+	}
+	t.closed = true
+	t.m.SetHooks(t.prevHooks)
+	t.inFlight = t.inFlight[:0]
+}
+
+// Inject admits a new message sourced at src (Nil selects the model's
+// most recently born node, the single-run convention) and returns its
+// MessageID. The message's first flooding round is the next Step; its
+// Result is bit-for-bit what a single flood.Run from the same source and
+// model state would produce. It panics if the source is not alive or the
+// plane is closed.
+func (t *Traffic) Inject(src graph.Handle) MessageID {
+	if t.closed {
+		panic("flood: Inject on a closed Traffic plane")
+	}
+	if src.IsNil() {
+		src = t.m.LastBorn()
+	}
+	if !t.g.IsAlive(src) {
+		panic("flood: traffic source is not an alive node")
+	}
+	id := MessageID(len(t.msgs))
+
+	var li int
+	if n := len(t.freeLanes); n > 0 {
+		li = t.freeLanes[n-1]
+		t.freeLanes = t.freeLanes[:n-1]
+	} else {
+		li = len(t.lanes)
+		t.lanes = append(t.lanes, nil)
+	}
+	// A reused lane slot gets freshly allocated state: retirement released
+	// the old arrays, so late injections are bit-for-bit a fresh engine.
+	ln := &lane{id: id, src: src, shards: make([]laneShard, t.par)}
+	t.lanes[li] = ln
+
+	ln.res = Result{
+		Source:                src,
+		CompletionRound:       -1,
+		StrictCompletionRound: -1,
+		DiedOutRound:          -1,
+		PeakInformed:          1,
+		EverInformed:          1,
+	}
+	alive0 := t.g.NumAlive()
+	if alive0 > 0 {
+		ln.res.PeakFraction = 1 / float64(alive0)
+	}
+	if t.opts.KeepTrajectory {
+		ln.res.Informed = append(ln.res.Informed, 1)
+		ln.res.Alive = append(ln.res.Alive, alive0)
+	}
+	ln.informedAlive = 1
+	t.cross(ln, src)
+
+	t.inFlight = append(t.inFlight, li)
+	t.msgs = append(t.msgs, message{laneIdx: li, status: MessageInFlight, step: t.steps})
+	return id
+}
+
+// Steps returns the number of plane rounds executed so far.
+func (t *Traffic) Steps() int { return t.steps }
+
+// Live returns the number of in-flight messages.
+func (t *Traffic) Live() int { return len(t.inFlight) }
+
+// Injected returns the number of messages ever admitted.
+func (t *Traffic) Injected() int { return len(t.msgs) }
+
+// Status reports where id is in its lifecycle.
+func (t *Traffic) Status(id MessageID) MessageStatus { return t.msgs[id].status }
+
+// Result returns id's flooding outcome: the final Result once the message
+// is done or retired, or a snapshot of the in-progress one (fields cover
+// the rounds executed so far).
+func (t *Traffic) Result(id MessageID) Result {
+	msg := &t.msgs[id]
+	if msg.status == MessageInFlight {
+		res := t.lanes[msg.laneIdx].res
+		// Detach the trajectories: the lane keeps appending to its own.
+		res.Informed = append([]int(nil), res.Informed...)
+		res.Alive = append([]int(nil), res.Alive...)
+		return res
+	}
+	return msg.res
+}
+
+// Retire releases a done message's lane — the per-slot sender lists,
+// informed marks and receiver bookkeeping — for reuse by later
+// injections; the Result remains queryable. It panics unless the message
+// is MessageDone: in-flight messages run to their own finish, and
+// retiring twice is a bug.
+func (t *Traffic) Retire(id MessageID) {
+	msg := &t.msgs[id]
+	if msg.status != MessageDone {
+		panic("flood: Retire of a message that is " + msg.status.String())
+	}
+	t.lanes[msg.laneIdx] = nil
+	t.freeLanes = append(t.freeLanes, msg.laneIdx)
+	msg.laneIdx = -1
+	msg.status = MessageRetired
+}
+
+// Step advances the plane one transmission unit: freeze every in-flight
+// lane's cut, advance the model one round (churn events update all lanes
+// through the shared hook chain), then run every lane's admission and
+// round accounting. Messages that finish this round leave the in-flight
+// set with their Result final.
+func (t *Traffic) Step() {
+	if t.closed {
+		panic("flood: Step on a closed Traffic plane")
+	}
+	t.steps++
+	g := t.g
+
+	t.freeze()
+	t.roundStartSeq = g.NextBirthSeq()
+	t.preRoundAlive = g.NumAlive()
+
+	t.m.AdvanceRound()
+
+	// Admission over each lane's frozen candidates; shards sweep all
+	// lanes inside one fan-out, crossings apply at the serial merge in
+	// (lane admission order, shard order).
+	t.forEachShard(func(w int) {
+		for _, li := range t.inFlight {
+			t.lanes[li].admitFrozen(t, w)
+		}
+	})
+	alive := g.NumAlive()
+	keep := t.inFlight[:0]
+	for _, li := range t.inFlight {
+		ln := t.lanes[li]
+		for s := range ln.shards {
+			for _, v := range ln.shards[s].admitted {
+				ln.res.EverInformed++
+				ln.informedAlive++
+				t.cross(ln, v)
+			}
+		}
+		if t.roundAccounting(ln, alive) {
+			keep = append(keep, li)
+		} else {
+			msg := &t.msgs[ln.id]
+			msg.status = MessageDone
+			msg.res = ln.res
+		}
+	}
+	t.inFlight = keep
+}
+
+// roundAccounting mirrors the single engine's per-round bookkeeping for
+// one lane and reports whether the message stays in flight.
+func (t *Traffic) roundAccounting(ln *lane, alive int) bool {
+	ln.round++
+	res := &ln.res
+	res.Rounds = ln.round
+
+	informedAlive := ln.informedAlive
+	if t.opts.KeepTrajectory {
+		res.Informed = append(res.Informed, informedAlive)
+		res.Alive = append(res.Alive, alive)
+	}
+	if informedAlive > res.PeakInformed {
+		res.PeakInformed = informedAlive
+	}
+	if alive > 0 {
+		if f := float64(informedAlive) / float64(alive); f > res.PeakFraction {
+			res.PeakFraction = f
+		}
+	}
+	res.FinalInformed, res.FinalAlive = informedAlive, alive
+
+	if informedAlive == t.preRoundAlive && !res.Completed {
+		res.Completed = true
+		res.CompletionRound = ln.round
+	}
+	if informedAlive == alive && !res.StrictlyCompleted {
+		res.StrictlyCompleted = true
+		res.StrictCompletionRound = ln.round
+	}
+	if informedAlive == 0 {
+		res.DiedOut = true
+		res.DiedOutRound = ln.round
+		return false // absorbing: nobody is left to transmit
+	}
+	if res.Completed && !t.opts.RunToMax {
+		return false
+	}
+	return ln.round < t.maxRounds
+}
+
+// --- cut bookkeeping (per lane) ---
+
+// owner maps an arena slot to its shard index — the single engine's
+// block-cyclic assignment, shared by every lane.
+func (t *Traffic) owner(slot uint32) int {
+	if t.par == 1 {
+		return 0
+	}
+	return int(slot/shardBlock) % t.par
+}
+
+// forEachShard fans fn out exactly like the single engine's.
+func (t *Traffic) forEachShard(fn func(w int)) {
+	forEachWorker(t.par, fn)
+}
+
+// cross moves v to ln's informed side: it stops being a receiver for this
+// lane and its neighborhood scan is queued for the next freeze.
+func (t *Traffic) cross(ln *lane, v graph.Handle) {
+	ln.informed.Mark(v)
+	ln.untrack(v)
+	ln.frontier = append(ln.frontier, v)
+}
+
+func (ln *lane) growTo(n int) {
+	if n <= len(ln.senders) {
+		return
+	}
+	ns := make([][]graph.Handle, n*2)
+	copy(ns, ln.senders)
+	ln.senders = ns
+	ng := make([]uint32, n*2)
+	copy(ng, ln.recvGen)
+	ln.recvGen = ng
+}
+
+// untrack clears h's receiver tracking in this lane if the list is still
+// h's.
+func (ln *lane) untrack(h graph.Handle) {
+	if int(h.Slot) < len(ln.recvGen) && ln.recvGen[h.Slot] == h.Gen {
+		ln.senders[h.Slot] = ln.senders[h.Slot][:0]
+		ln.recvGen[h.Slot] = 0
+	}
+}
+
+// appendSender records s as an informed sender toward the uninformed
+// receiver x in lane ln. Serial-context path: it may grow the lane's slot
+// arrays (hooks fire during AdvanceRound, after births).
+func (t *Traffic) appendSender(ln *lane, x, s graph.Handle) {
+	ln.growTo(int(x.Slot) + 1)
+	t.appendSenderShard(ln, &ln.shards[t.owner(x.Slot)], x, s)
+}
+
+// appendSenderShard is appendSender for the shard that owns x's slot; the
+// lane's arrays must already span it in parallel phases.
+func (t *Traffic) appendSenderShard(ln *lane, sh *laneShard, x, s graph.Handle) {
+	if ln.recvGen[x.Slot] != x.Gen {
+		ln.senders[x.Slot] = ln.senders[x.Slot][:0]
+		ln.recvGen[x.Slot] = x.Gen
+		sh.receivers = append(sh.receivers, x)
+	}
+	ln.senders[x.Slot] = append(ln.senders[x.Slot], s)
+}
+
+// noteDeath maintains the shared pre-round counter and every in-flight
+// lane's informed counter and receiver tracking.
+func (t *Traffic) noteDeath(h graph.Handle) {
+	if t.g.BirthSeq(h) < t.roundStartSeq {
+		t.preRoundAlive--
+	}
+	for _, li := range t.inFlight {
+		ln := t.lanes[li]
+		if ln.informed.Has(h) {
+			ln.informedAlive--
+		}
+		ln.untrack(h)
+	}
+}
+
+// noteEdge classifies a fresh request edge against every in-flight lane's
+// cut; a single event can be a candidate for some messages and internal
+// or irrelevant for others.
+func (t *Traffic) noteEdge(u, v graph.Handle) {
+	for _, li := range t.inFlight {
+		ln := t.lanes[li]
+		ui, vi := ln.informed.Has(u), ln.informed.Has(v)
+		if ui == vi {
+			continue
+		}
+		x, s := u, v
+		if ui {
+			x, s = v, u
+		}
+		if t.onStage != nil && !t.onStage(li, x, s) {
+			continue
+		}
+		t.appendSender(ln, x, s)
+	}
+}
+
+// --- the batched freeze ---
+
+// freeze drains the combined frontier and compacts every in-flight lane's
+// receivers into the live cut of the current snapshot, one worker sweep
+// across all messages.
+func (t *Traffic) freeze() {
+	if len(t.inFlight) == 0 {
+		return
+	}
+	t.drainFrontiers()
+	t.forEachShard(func(w int) {
+		for _, li := range t.inFlight {
+			t.lanes[li].compact(t, w)
+		}
+	})
+}
+
+// growNodeIdx spans the slot → scan-index map, keeping new entries at the
+// -1 sentinel.
+func (t *Traffic) growNodeIdx(n int) {
+	if n <= len(t.nodeIdx) {
+		return
+	}
+	grown := make([]int32, n*2)
+	for i := len(t.nodeIdx); i < len(grown); i++ {
+		grown[i] = -1
+	}
+	copy(grown, t.nodeIdx)
+	t.nodeIdx = grown
+}
+
+// collectScan gathers the distinct frontier nodes across all in-flight
+// lanes into scanNodes, with scanLanes[k] listing the lanes that queued
+// node k. Frontier handles are all alive (no event intervenes between a
+// crossing and the next freeze), so arena slots identify nodes uniquely
+// within one drain.
+func (t *Traffic) collectScan() {
+	t.scanNodes = t.scanNodes[:0]
+	for _, li := range t.inFlight {
+		ln := t.lanes[li]
+		for _, v := range ln.frontier {
+			t.growNodeIdx(int(v.Slot) + 1)
+			k := t.nodeIdx[v.Slot]
+			if k < 0 {
+				k = int32(len(t.scanNodes))
+				t.nodeIdx[v.Slot] = k
+				t.scanNodes = append(t.scanNodes, v)
+				if int(k) < len(t.scanLanes) {
+					t.scanLanes[k] = t.scanLanes[k][:0]
+				} else {
+					t.scanLanes = append(t.scanLanes, nil)
+				}
+			}
+			t.scanLanes[k] = append(t.scanLanes[k], int32(li))
+		}
+		ln.frontier = ln.frontier[:0]
+	}
+	for _, v := range t.scanNodes {
+		t.nodeIdx[v.Slot] = -1
+	}
+}
+
+// drainFrontiers performs the one-off neighborhood scans of every node
+// that crossed any lane's cut since the last freeze. Each distinct node is
+// scanned exactly once — deduplicating the work M separate engines would
+// repeat, and confining graph.Neighbors' in-list compaction side effect to
+// a single scanner — and each discovered cut edge fans out to the lanes
+// that queued the node, filtered by their own informed marks. The
+// per-scan scratch dedups the multigraph neighborhood once; filtering per
+// lane after the shared dedup appends exactly the pairs the single
+// engine's informed-check-then-mark would.
+func (t *Traffic) drainFrontiers() {
+	t.collectScan()
+	if len(t.scanNodes) == 0 {
+		return
+	}
+	if t.par == 1 {
+		scratch := &t.scratch[0]
+		for k, v := range t.scanNodes {
+			scratch.Reset()
+			t.g.Neighbors(v, func(x graph.Handle) bool {
+				if scratch.Mark(x) {
+					t.fanOut(int32(k), x, v)
+				}
+				return true
+			})
+		}
+		return
+	}
+	t.drainFrontiersSharded()
+}
+
+// fanOut records the discovered cut edge (v → x) for every lane that
+// queued scan node k and does not already consider x informed. Owner-shard
+// context: the caller guarantees x's slot belongs to the running shard
+// (or the engine is serial).
+func (t *Traffic) fanOut(k int32, x, v graph.Handle) {
+	for _, li := range t.scanLanes[k] {
+		ln := t.lanes[li]
+		if ln.informed.Has(x) {
+			continue
+		}
+		if t.onStage != nil && !t.onStage(int(li), x, v) {
+			continue
+		}
+		// Growth only happens on the serial path: parallel drains pre-grow
+		// every in-flight lane to the arena size, making this a no-op there.
+		ln.growTo(int(x.Slot) + 1)
+		t.appendSenderShard(ln, &ln.shards[t.owner(x.Slot)], x, v)
+	}
+}
+
+// drainFrontiersSharded is the parallel drain: chunk-claimed scans over
+// the distinct node list stage each discovered edge for its receiver's
+// owner shard, then every shard drains its buffers in chunk order — the
+// single engine's two-barrier pattern, batched across lanes.
+func (t *Traffic) drainFrontiersSharded() {
+	// Parallel phases must not reallocate slot arrays: span every
+	// in-flight lane's arrays up front.
+	nSlots := t.g.NumSlots()
+	for _, li := range t.inFlight {
+		t.lanes[li].growTo(nSlots)
+	}
+	nScan := len(t.scanNodes)
+	nChunks := nScan
+	if max := t.par * scanChunksPerWorker; nChunks > max {
+		nChunks = max
+	}
+	if need := nChunks * t.par; len(t.stage) < need {
+		grown := make([][]laneCutEdge, need)
+		copy(grown, t.stage)
+		t.stage = grown
+	}
+
+	// Scan: lane-independent — informed marks are read-only here, so the
+	// staged edges carry only the receiver and the scan index; the
+	// per-lane filter runs at the owner-shard merge.
+	t.chunkNext.Store(0)
+	t.forEachShard(func(w int) {
+		scratch := &t.scratch[w]
+		for {
+			c := int(t.chunkNext.Add(1)) - 1
+			if c >= nChunks {
+				return
+			}
+			buf := t.stage[c*t.par : (c+1)*t.par]
+			for k := c * nScan / nChunks; k < (c+1)*nScan/nChunks; k++ {
+				v := t.scanNodes[k]
+				scratch.Reset()
+				t.g.Neighbors(v, func(x graph.Handle) bool {
+					if scratch.Mark(x) {
+						s := t.owner(x.Slot)
+						buf[s] = append(buf[s], laneCutEdge{recv: x, scan: int32(k)})
+					}
+					return true
+				})
+			}
+		}
+	})
+
+	// Merge: each shard drains the buffers addressed to it in chunk
+	// order, fanning each edge out across its lanes.
+	t.forEachShard(func(w int) {
+		for c := 0; c < nChunks; c++ {
+			buf := t.stage[c*t.par+w]
+			for _, ce := range buf {
+				t.fanOut(ce.scan, ce.recv, t.scanNodes[ce.scan])
+			}
+			t.stage[c*t.par+w] = buf[:0]
+		}
+	})
+}
+
+// compact is the freeze pass over one shard's receivers of one lane —
+// the single engine's engineShard.compact against lane-owned arrays.
+func (ln *lane) compact(t *Traffic, w int) {
+	sh := &ln.shards[w]
+	g := t.g
+	n := 0
+	sh.frozenLen = sh.frozenLen[:0]
+	for _, v := range sh.receivers {
+		if !g.IsAlive(v) || ln.informed.Has(v) {
+			ln.untrack(v)
+			continue
+		}
+		lst := ln.senders[v.Slot]
+		k := 0
+		for _, s := range lst {
+			if g.IsAlive(s) {
+				lst[k] = s
+				k++
+			}
+		}
+		ln.senders[v.Slot] = lst[:k]
+		if k == 0 {
+			ln.recvGen[v.Slot] = 0
+			continue
+		}
+		sh.receivers[n] = v
+		sh.frozenLen = append(sh.frozenLen, k)
+		n++
+	}
+	sh.receivers = sh.receivers[:n]
+	sh.nFrozen = n
+}
+
+// admitFrozen runs the admission test over one shard's frozen receivers
+// of one lane — the single engine's pass with lane-owned state.
+func (ln *lane) admitFrozen(t *Traffic, w int) {
+	sh := &ln.shards[w]
+	g := t.g
+	sh.admitted = sh.admitted[:0]
+	for i := 0; i < sh.nFrozen; i++ {
+		v := sh.receivers[i]
+		if !g.IsAlive(v) || ln.informed.Has(v) {
+			continue
+		}
+		admit := false
+		for _, s := range ln.senders[v.Slot][:sh.frozenLen[i]] {
+			if t.opts.Mode == Asynchronous || g.IsAlive(s) {
+				admit = true
+				break
+			}
+		}
+		if admit {
+			sh.admitted = append(sh.admitted, v)
+		}
+	}
+}
+
+// laneFootprint reports the allocated lane count and the summed per-slot
+// state length across allocated lanes — the quantities the retirement
+// property test tracks to pin memory at O(live messages), not O(all ever
+// injected).
+func (t *Traffic) laneFootprint() (lanes, slotState int) {
+	for _, ln := range t.lanes {
+		if ln == nil {
+			continue
+		}
+		lanes++
+		slotState += len(ln.senders) + len(ln.recvGen)
+	}
+	return lanes, slotState
+}
+
+// --- injection schedules ---
+
+// TrafficSchedule generates the injection steps of the named schedule:
+// message i of `messages` is injected after schedule[i] plane Steps.
+// Schedules:
+//
+//   - "burst": every message at step 0;
+//   - "staggered": one message every `gap` steps (0, gap, 2·gap, …);
+//   - "poisson": Poisson arrivals at rate 1/gap per step (the continuous
+//     analogue of staggered), drawn deterministically from seed.
+//
+// gap must be >= 1 (it is ignored for burst); the steps come back sorted.
+func TrafficSchedule(schedule string, messages, gap int, seed uint64) ([]int, error) {
+	if messages < 1 {
+		return nil, fmt.Errorf("flood: schedule needs messages >= 1, got %d", messages)
+	}
+	if gap < 1 && schedule != "burst" {
+		return nil, fmt.Errorf("flood: schedule %q needs gap >= 1, got %d", schedule, gap)
+	}
+	steps := make([]int, 0, messages)
+	switch schedule {
+	case "burst":
+		for i := 0; i < messages; i++ {
+			steps = append(steps, 0)
+		}
+	case "staggered":
+		for i := 0; i < messages; i++ {
+			steps = append(steps, i*gap)
+		}
+	case "poisson":
+		r := rng.New(seed)
+		rate := 1 / float64(gap)
+		for step := 0; len(steps) < messages; step++ {
+			for k := dist.Poisson(r, rate); k > 0 && len(steps) < messages; k-- {
+				steps = append(steps, step)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("flood: unknown schedule %q (want burst, staggered or poisson)", schedule)
+	}
+	return steps, nil
+}

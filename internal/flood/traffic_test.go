@@ -1,0 +1,453 @@
+package flood
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/dyngraph/churnnet/internal/core"
+	"github.com/dyngraph/churnnet/internal/graph"
+	"github.com/dyngraph/churnnet/internal/rng"
+)
+
+// nthAlive returns the alive node with the (i+1)-th highest birth sequence
+// (mod alive count) — a deterministic function of the snapshot alone, so a
+// traffic plane and its single-message oracle replays pick identical sources
+// at identical model states. Ranking by youth keeps streaming-model sources
+// from being the very nodes the next rounds evict.
+func nthAlive(g *graph.Graph, i int) graph.Handle {
+	var hs []graph.Handle
+	g.ForEachAlive(func(v graph.Handle) bool {
+		hs = append(hs, v)
+		return true
+	})
+	if len(hs) == 0 {
+		return graph.Handle{}
+	}
+	sort.Slice(hs, func(a, b int) bool { return g.BirthSeq(hs[a]) > g.BirthSeq(hs[b]) })
+	return hs[i%len(hs)]
+}
+
+// trafficInjection records one admitted message of a plane run: when it was
+// injected, from where, and under which ID.
+type trafficInjection struct {
+	id   MessageID
+	step int
+	src  graph.Handle
+}
+
+// runTrafficPlane drives one multi-message run: messages[i] is injected
+// after steps[i] plane Steps from the deterministic source nthAlive(g, i),
+// and the plane Steps until every message finished. It returns the final
+// per-message Results in admission order.
+func runTrafficPlane(m core.Model, opts TrafficOptions, steps []int) ([]Result, []trafficInjection) {
+	tr := NewTraffic(m, opts)
+	defer tr.Close()
+	var inj []trafficInjection
+	next := 0
+	for step := 0; ; step++ {
+		for next < len(steps) && steps[next] == step {
+			src := nthAlive(m.Graph(), next)
+			id := tr.Inject(src)
+			inj = append(inj, trafficInjection{id: id, step: step, src: src})
+			next++
+		}
+		if next == len(steps) && tr.Live() == 0 {
+			break
+		}
+		tr.Step()
+	}
+	res := make([]Result, len(inj))
+	for i, in := range inj {
+		res[i] = tr.Result(in.id)
+	}
+	return res, inj
+}
+
+// replaySingle is the oracle arm: an identically seeded model advanced to
+// the injection step, flooding once from the recorded source. Flooding
+// consumes no model randomness, so the replay sees exactly the churn stream
+// the plane saw.
+func replaySingle(m core.Model, opts TrafficOptions, in trafficInjection) Result {
+	for i := 0; i < in.step; i++ {
+		m.AdvanceRound()
+	}
+	return Run(m, Options{
+		Source:         in.src,
+		Mode:           opts.Mode,
+		MaxRounds:      opts.MaxRounds,
+		KeepTrajectory: opts.KeepTrajectory,
+		RunToMax:       opts.RunToMax,
+	})
+}
+
+// TestTrafficMatchesSingleMessageOracle is the headline differential oracle:
+// one multi-message run must be indistinguishable, message by message, from
+// M independent single-message engine runs each replaying the same churn
+// stream — every per-message Result bit-for-bit equal, across all four
+// models × three injection schedules × worker counts × 20 seeds. Any
+// divergence is a cross-message bookkeeping bug (lanes leaking into each
+// other, shared counters miscounted, a frontier event misrouted).
+func TestTrafficMatchesSingleMessageOracle(t *testing.T) {
+	schedules := []string{"burst", "staggered", "poisson"}
+	for _, kind := range core.Kinds() {
+		for _, schedule := range schedules {
+			kind, schedule := kind, schedule
+			t.Run(kind.String()+"-"+schedule, func(t *testing.T) {
+				t.Parallel()
+				for seed := uint64(0); seed < 20; seed++ {
+					n := 60 + int(seed%5)*20
+					d := 2 + int(seed%8)
+					messages := 3 + int(seed%4)
+					gap := 1 + int(seed%3)
+					mode := Discretized
+					if seed%2 == 1 {
+						mode = Asynchronous
+					}
+					opts := TrafficOptions{
+						Mode:           mode,
+						MaxRounds:      25,
+						KeepTrajectory: true,
+						RunToMax:       seed%4 == 0,
+					}
+					steps, err := TrafficSchedule(schedule, messages, gap, seed)
+					if err != nil {
+						t.Fatalf("seed %d: %v", seed, err)
+					}
+					build := func() core.Model {
+						m := core.New(kind, n, d, rng.New(seed))
+						core.WarmUp(m)
+						return m
+					}
+
+					// The serial plane run fixes the injection record; the
+					// oracle replays each message independently.
+					got, inj := runTrafficPlane(build(), opts, steps)
+					want := make([]Result, len(inj))
+					for i, in := range inj {
+						want[i] = replaySingle(build(), opts, in)
+					}
+					for i := range inj {
+						if !reflect.DeepEqual(got[i], want[i]) {
+							t.Fatalf("seed %d (n=%d d=%d M=%d): message %d (step %d) diverged from its single-message replay\nplane:  %+v\nsingle: %+v",
+								seed, n, d, messages, i, inj[i].step, got[i], want[i])
+						}
+					}
+
+					// Every sharded setting must reproduce the serial plane
+					// bit-for-bit, injections included.
+					for _, par := range testPars() {
+						popts := opts
+						popts.Parallelism = par
+						pgot, pinj := runTrafficPlane(build(), popts, steps)
+						if !reflect.DeepEqual(pinj, inj) {
+							t.Fatalf("seed %d par %d: injection records diverged", seed, par)
+						}
+						if !reflect.DeepEqual(pgot, got) {
+							t.Fatalf("seed %d par %d: sharded plane diverged from serial plane\n%+v\n%+v",
+								seed, par, pgot, got)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestTrafficNegativeControl proves the oracle has teeth, mirroring PR 5's
+// stale-tracker control: a deliberately corrupted plane — one dropped
+// cross-message frontier event on one target lane — must be caught by the
+// per-message differential comparison, while the untouched lanes keep
+// matching their replays (the corruption is confined to the lane whose event
+// was dropped; lanes share no informed state).
+func TestTrafficNegativeControl(t *testing.T) {
+	t.Parallel()
+	opts := TrafficOptions{MaxRounds: 25, KeepTrajectory: true}
+	caught := 0
+	const seeds = 6
+	for seed := uint64(0); seed < seeds; seed++ {
+		build := func() core.Model {
+			m := core.New(core.SDGR, 120, 4, rng.New(seed))
+			core.WarmUp(m)
+			return m
+		}
+
+		// Honest plane: both messages injected as a burst at step 0.
+		m := build()
+		steps := []int{0, 0}
+		honest, inj := runTrafficPlane(m, opts, steps)
+
+		// Corrupted plane: identical run, except the first frontier event
+		// staged for lane 1 — message 1's source scan discovering its first
+		// cut edge — is dropped.
+		mc := build()
+		tr := NewTraffic(mc, opts)
+		dropped := false
+		tr.onStage = func(li int, recv, sender graph.Handle) bool {
+			if li == 1 && !dropped {
+				dropped = true
+				return false
+			}
+			return true
+		}
+		var ids []MessageID
+		for i := range steps {
+			ids = append(ids, tr.Inject(nthAlive(mc.Graph(), i)))
+		}
+		for tr.Live() > 0 {
+			tr.Step()
+		}
+		corrupt := []Result{tr.Result(ids[0]), tr.Result(ids[1])}
+		tr.Close()
+
+		if !dropped {
+			t.Fatalf("seed %d: control never dropped an event", seed)
+		}
+		if !reflect.DeepEqual(corrupt[0], honest[0]) {
+			t.Fatalf("seed %d: corruption of lane 1 leaked into message 0\n%+v\n%+v",
+				seed, corrupt[0], honest[0])
+		}
+		// The oracle comparison the main test runs: corrupted message 1
+		// against its single-message replay.
+		want := replaySingle(build(), opts, inj[1])
+		if !reflect.DeepEqual(honest[1], want) {
+			t.Fatalf("seed %d: honest plane diverged from replay (harness broken)", seed)
+		}
+		if !reflect.DeepEqual(corrupt[1], want) {
+			caught++
+		}
+	}
+	if caught == 0 {
+		t.Fatalf("oracle caught 0/%d corrupted runs — the harness has no teeth", seeds)
+	}
+	t.Logf("oracle caught %d/%d corrupted runs", caught, seeds)
+}
+
+// TestTrafficRetireReleasesAndReuses is the memory property test: retiring
+// done messages mid-run must release their lanes' per-slot state (tracked
+// via the laneFootprint test hook), keeping the plane at O(live messages)
+// rather than O(all ever injected) — and a late injection reusing a retired
+// lane slot must behave bit-for-bit like a fresh engine at that model state.
+func TestTrafficRetireReleasesAndReuses(t *testing.T) {
+	t.Parallel()
+	opts := TrafficOptions{MaxRounds: 30, KeepTrajectory: true}
+	for seed := uint64(0); seed < 5; seed++ {
+		build := func() core.Model {
+			m := core.New(core.PDGR, 150, 6, rng.New(seed))
+			core.WarmUp(m)
+			return m
+		}
+		m := build()
+		tr := NewTraffic(m, opts)
+
+		const first = 4
+		var ids []MessageID
+		for i := 0; i < first; i++ {
+			ids = append(ids, tr.Inject(nthAlive(m.Graph(), i)))
+		}
+		lanes0, slot0 := tr.laneFootprint()
+		if lanes0 != first || slot0 == 0 {
+			// Slot state appears at the first freeze at the latest; the
+			// source crossing already tracks the lane arrays via cross.
+			t.Logf("seed %d: pre-step footprint lanes=%d slotState=%d", seed, lanes0, slot0)
+		}
+		for tr.Live() > 0 {
+			tr.Step()
+		}
+		lanesDone, _ := tr.laneFootprint()
+		if lanesDone != first {
+			t.Fatalf("seed %d: %d lanes allocated before retirement, want %d", seed, lanesDone, first)
+		}
+		for _, id := range ids {
+			if tr.Status(id) != MessageDone {
+				t.Fatalf("seed %d: message %d is %v after drain", seed, id, tr.Status(id))
+			}
+			tr.Retire(id)
+			if tr.Status(id) != MessageRetired {
+				t.Fatalf("seed %d: message %d not retired", seed, id)
+			}
+		}
+		lanesRet, slotRet := tr.laneFootprint()
+		if lanesRet != 0 || slotRet != 0 {
+			t.Fatalf("seed %d: retirement did not release lane state: lanes=%d slotState=%d",
+				seed, lanesRet, slotRet)
+		}
+
+		// Late injection into a reused lane slot: bit-for-bit a fresh
+		// single-message engine at the same model state.
+		stepsSoFar := tr.Steps()
+		src := nthAlive(m.Graph(), 0)
+		late := tr.Inject(src)
+		if got, want := tr.Injected(), first+1; got != want {
+			t.Fatalf("seed %d: Injected() = %d, want %d (IDs are never reused)", seed, got, want)
+		}
+		if lanesLate, _ := tr.laneFootprint(); lanesLate != 1 {
+			t.Fatalf("seed %d: late injection allocated %d lanes, want 1 reused slot", seed, lanesLate)
+		}
+		for tr.Live() > 0 {
+			tr.Step()
+		}
+		got := tr.Result(late)
+		tr.Close()
+
+		want := replaySingle(build(), opts, trafficInjection{step: stepsSoFar, src: src})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: late injection in reused lane diverged from fresh engine\n%+v\n%+v",
+				seed, got, want)
+		}
+
+		// Retired Results stay queryable; retiring twice panics.
+		_ = tr.Result(ids[0])
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("seed %d: double Retire did not panic", seed)
+				}
+			}()
+			tr.Retire(ids[0])
+		}()
+	}
+}
+
+// TestTrafficInjectionOrderInvariance pins the determinism contract for
+// same-round admissions: permuting the Inject order of messages admitted in
+// the same Step permutes their MessageIDs and nothing else — every source's
+// Result is unchanged, at serial and sharded settings alike (the tie-break
+// is documented in DESIGN.md: lanes share no per-message state, so admission
+// order is unobservable).
+func TestTrafficInjectionOrderInvariance(t *testing.T) {
+	t.Parallel()
+	const messages = 4
+	for seed := uint64(0); seed < 8; seed++ {
+		mode := Discretized
+		if seed%2 == 1 {
+			mode = Asynchronous
+		}
+		opts := TrafficOptions{Mode: mode, MaxRounds: 25, KeepTrajectory: true}
+		build := func() core.Model {
+			m := core.New(core.PDG, 130, 5, rng.New(seed))
+			core.WarmUp(m)
+			return m
+		}
+		run := func(order []int, par int) map[graph.Handle]Result {
+			m := build()
+			popts := opts
+			popts.Parallelism = par
+			tr := NewTraffic(m, popts)
+			defer tr.Close()
+			srcs := make([]graph.Handle, messages)
+			for i := range srcs {
+				srcs[i] = nthAlive(m.Graph(), i)
+			}
+			ids := map[graph.Handle]MessageID{}
+			for _, i := range order {
+				ids[srcs[i]] = tr.Inject(srcs[i])
+			}
+			for tr.Live() > 0 {
+				tr.Step()
+			}
+			out := map[graph.Handle]Result{}
+			for src, id := range ids {
+				out[src] = tr.Result(id)
+			}
+			return out
+		}
+		want := run([]int{0, 1, 2, 3}, 1)
+		perms := [][]int{{3, 2, 1, 0}, {1, 3, 0, 2}, {2, 0, 3, 1}}
+		for _, perm := range perms {
+			for _, par := range []int{1, 4} {
+				got := run(perm, par)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed %d: admission order %v (par=%d) changed per-message Results\n%+v\n%+v",
+						seed, perm, par, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestTrafficSchedule pins the injection-schedule generator: shapes, sorted
+// output, determinism, and input validation.
+func TestTrafficSchedule(t *testing.T) {
+	t.Parallel()
+	if s, err := TrafficSchedule("burst", 5, 0, 1); err != nil || !reflect.DeepEqual(s, []int{0, 0, 0, 0, 0}) {
+		t.Fatalf("burst: %v %v", s, err)
+	}
+	if s, err := TrafficSchedule("staggered", 4, 3, 1); err != nil || !reflect.DeepEqual(s, []int{0, 3, 6, 9}) {
+		t.Fatalf("staggered: %v %v", s, err)
+	}
+	p1, err1 := TrafficSchedule("poisson", 16, 2, 7)
+	p2, err2 := TrafficSchedule("poisson", 16, 2, 7)
+	if err1 != nil || err2 != nil || !reflect.DeepEqual(p1, p2) {
+		t.Fatalf("poisson not deterministic: %v %v (%v %v)", p1, p2, err1, err2)
+	}
+	if len(p1) != 16 {
+		t.Fatalf("poisson generated %d steps, want 16", len(p1))
+	}
+	for i := 1; i < len(p1); i++ {
+		if p1[i] < p1[i-1] {
+			t.Fatalf("poisson steps not sorted: %v", p1)
+		}
+	}
+	for _, bad := range []struct {
+		schedule      string
+		messages, gap int
+	}{
+		{"warp", 3, 1},
+		{"burst", 0, 1},
+		{"staggered", 3, 0},
+		{"poisson", 3, -1},
+	} {
+		if _, err := TrafficSchedule(bad.schedule, bad.messages, bad.gap, 1); err == nil {
+			t.Fatalf("TrafficSchedule(%q, %d, %d) accepted invalid input",
+				bad.schedule, bad.messages, bad.gap)
+		}
+	}
+}
+
+// TestTrafficHookLifecycle checks that NewTraffic chains a caller's hooks
+// for the plane's lifetime and Close restores them — the same nesting
+// contract the single engine keeps for one run.
+func TestTrafficHookLifecycle(t *testing.T) {
+	t.Parallel()
+	m := core.New(core.PDGR, 120, 5, rng.New(3))
+	core.WarmUp(m)
+	births := 0
+	m.SetHooks(core.Hooks{OnBirth: func(graph.Handle) { births++ }})
+	tr := NewTraffic(m, TrafficOptions{MaxRounds: 10})
+	tr.Inject(nthAlive(m.Graph(), 0))
+	for i := 0; i < 5; i++ {
+		tr.Step()
+	}
+	if births == 0 {
+		t.Fatal("caller's OnBirth hook was not chained while the plane ran")
+	}
+	tr.Close()
+	after := m.Hooks()
+	if after.OnDeath != nil || after.OnEdge != nil || after.OnBirth == nil {
+		t.Fatalf("hooks not restored after Close: %+v", after)
+	}
+	tr.Close() // idempotent
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Step on a closed plane did not panic")
+			}
+		}()
+		tr.Step()
+	}()
+}
+
+// TestTrafficRequiresEdgeEvents checks the constructor's contract: models
+// without the edge-event guarantee have no incremental-cut path to offer.
+func TestTrafficRequiresEdgeEvents(t *testing.T) {
+	t.Parallel()
+	m := core.New(core.SDG, 100, 3, rng.New(1))
+	core.WarmUp(m)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTraffic accepted a model without edge events")
+		}
+	}()
+	NewTraffic(noEdgeEvents{m}, TrafficOptions{})
+}
