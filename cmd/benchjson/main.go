@@ -675,6 +675,8 @@ func runFloodParCase(c floodparCase, par int, seed uint64, reps int) (floodparRe
 // uniform d-out spec (the snapshot samplers' workload shape) and returns
 // an adjacency hash covering out-target and in-source order, so a layout
 // divergence can never hide behind a fast fill.
+//
+//churnvet:hookexempt microbenchmark times the bare fill; no hook subscriber exists in this process
 func runWireFillCase(n, d, workers int, seed uint64, reps int) (wireFillResult, uint64) {
 	fmt.Fprintf(os.Stderr, "benchjson: wire fill n=%d d=%d workers=%d...\n", n, d, workers)
 	wr := wireFillResult{N: n, D: d, Workers: workers, Seed: seed, Reps: reps}

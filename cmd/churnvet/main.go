@@ -1,0 +1,73 @@
+// Command churnvet runs the churnvet analyzer suite (detsource, maprange,
+// hookfire, shardstage, cmdexit — see DESIGN.md "Static enforcement of the
+// determinism contract").
+//
+// Two modes:
+//
+//	go vet -vettool=$(which churnvet) ./...   # the vet-tool protocol
+//	go run ./cmd/churnvet ./...               # convenience: self-delegates
+//
+// In the second form churnvet re-executes `go vet -vettool=<itself>` with
+// the given package patterns, so one offline command checks the whole tree
+// (the analyzers and their x/tools dependencies are vendored; no network
+// is needed beyond the go.mod deps already present).
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"github.com/dyngraph/churnnet/internal/lint/churnvet"
+)
+
+func main() {
+	if patterns := packagePatterns(os.Args[1:]); patterns != nil {
+		if delegate(patterns) != 0 {
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	unitchecker.Main(churnvet.Analyzers()...)
+}
+
+// packagePatterns returns the argument list when it consists purely of
+// package patterns (the convenience form). Any flag or unitchecker .cfg
+// argument means the vet-tool protocol is in progress.
+func packagePatterns(args []string) []string {
+	if len(args) == 0 {
+		return nil
+	}
+	for _, a := range args {
+		if strings.HasPrefix(a, "-") || strings.HasSuffix(a, ".cfg") {
+			return nil
+		}
+	}
+	return args
+}
+
+// delegate re-runs `go vet -vettool=<this binary>` on the patterns and
+// returns the exit status to propagate.
+func delegate(patterns []string) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "churnvet:", err)
+		return 1
+	}
+	args := append([]string{"vet", "-vettool=" + self}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintln(os.Stderr, "churnvet:", err)
+		return 1
+	}
+	return 0
+}

@@ -185,16 +185,22 @@ func (p *Profile) Min() (float64, Witness) {
 
 // MinInRange returns the smallest ratio among witnesses with lo <= size <=
 // hi (+Inf witness if none). Ratio ties break toward the smallest set
-// size, so the returned witness is deterministic (map iteration order must
-// not leak into results — see the determinism contract in DESIGN.md).
+// size; iterating sizes in ascending order makes that — and the whole
+// result — independent of map iteration order by construction (see the
+// determinism contract in DESIGN.md).
 func (p *Profile) MinInRange(lo, hi int) (float64, Witness) {
+	sizes := make([]int, 0, len(p.BestBySize))
+	for size := range p.BestBySize {
+		sizes = append(sizes, size)
+	}
+	sort.Ints(sizes)
 	best := math.Inf(1)
 	var w Witness
-	for size, cand := range p.BestBySize {
+	for _, size := range sizes {
 		if size < lo || size > hi {
 			continue
 		}
-		if cand.Ratio < best || (cand.Ratio == best && size < w.Size) {
+		if cand := p.BestBySize[size]; cand.Ratio < best {
 			best = cand.Ratio
 			w = cand
 		}

@@ -1,0 +1,25 @@
+// Package churnvet aggregates the five churnvet analyzers in the order
+// they are documented (DESIGN.md "Static enforcement of the determinism
+// contract"). cmd/churnvet wires them into `go vet -vettool`.
+package churnvet
+
+import (
+	"golang.org/x/tools/go/analysis"
+
+	"github.com/dyngraph/churnnet/internal/lint/cmdexit"
+	"github.com/dyngraph/churnnet/internal/lint/detsource"
+	"github.com/dyngraph/churnnet/internal/lint/hookfire"
+	"github.com/dyngraph/churnnet/internal/lint/maprange"
+	"github.com/dyngraph/churnnet/internal/lint/shardstage"
+)
+
+// Analyzers returns the full churnvet suite.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detsource.Analyzer,
+		maprange.Analyzer,
+		hookfire.Analyzer,
+		shardstage.Analyzer,
+		cmdexit.Analyzer,
+	}
+}

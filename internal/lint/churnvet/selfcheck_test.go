@@ -1,0 +1,48 @@
+package churnvet_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepoIsChurnvetClean is the CI smoke test: it builds cmd/churnvet and
+// runs it over the whole module via the vet-tool protocol. The tree must
+// stay churnvet-clean — a finding here means a determinism or hook-plane
+// contract violation landed (or needs a //churnvet:* justification).
+func TestRepoIsChurnvetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping whole-repo vet run")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	root := moduleRoot(t, goTool)
+	bin := filepath.Join(t.TempDir(), "churnvet")
+	build := exec.Command(goTool, "build", "-o", bin, "./cmd/churnvet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building churnvet: %v\n%s", err, out)
+	}
+	vet := exec.Command(goTool, "vet", "-vettool="+bin, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("churnvet findings (the tree must stay churnvet-clean):\n%s", out)
+	}
+}
+
+// moduleRoot resolves the module directory from the test's working
+// directory (the package dir) via the go tool.
+func moduleRoot(t *testing.T, goTool string) string {
+	out, err := exec.Command(goTool, "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == "/dev/null" {
+		t.Fatal("not inside a module")
+	}
+	return filepath.Dir(gomod)
+}

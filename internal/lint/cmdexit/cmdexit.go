@@ -1,0 +1,260 @@
+// Package cmdexit implements the churnvet analyzer that pins the audited
+// process-exit conventions (PRs 2/4/6):
+//
+//   - library packages never terminate the process: os.Exit and log.Fatal*
+//     are forbidden outside cmd/* packages, except inside func main of a
+//     non-cmd main package (examples);
+//   - inside cmd/* packages, os.Exit takes an explicit literal status and
+//     only the audited trio: 0 (success), 1 (runtime failure), 2 (usage /
+//     flag-validation failure);
+//   - log.Fatal* is forbidden even in cmd/* — it hardwires status 1, so a
+//     flag-validation path reaching it would break the exit-2 convention
+//     silently; report errors with fmt.Fprintln(os.Stderr, ...) and exit
+//     explicitly;
+//   - a function that calls flag.Usage() is a usage-error path and must
+//     exit 2; likewise any exit under an if-condition derived from a
+//     validateFlags*/parse* call's result.
+package cmdexit
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"github.com/dyngraph/churnnet/internal/lint"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "cmdexit",
+	Doc:      "forbid os.Exit/log.Fatal outside cmd/* and main, and pin the exit-2 flag-validation convention inside cmd/*",
+	URL:      "https://github.com/dyngraph/churnnet/blob/main/DESIGN.md",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var cmdpattern string
+
+func init() {
+	Analyzer.Flags.StringVar(&cmdpattern, "cmdpattern", "/cmd/", "substring of the import path identifying command packages")
+}
+
+// validatorCall matches the names of flag-validation and flag-parsing
+// helpers whose failure paths must exit 2.
+var validatorCall = regexp.MustCompile(`(?i)^(validate|parse)`)
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	isCmd := strings.Contains(pass.Pkg.Path(), cmdpattern) ||
+		strings.HasPrefix(pass.Pkg.Path(), strings.Trim(cmdpattern, "/")+"/")
+	isMain := pass.Pkg.Name() == "main"
+
+	ins.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		call := n.(*ast.CallExpr)
+		if lint.IsTestFile(pass, call.Pos()) {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		kind := terminatorKind(fn)
+		if kind == "" {
+			return true
+		}
+		encl := enclosingFuncDecl(stack)
+
+		if !isCmd {
+			if isMain && encl != nil && encl.Name.Name == "main" && encl.Recv == nil {
+				return true // examples may exit from func main directly
+			}
+			pass.Reportf(call.Pos(), "%s in a library package: return an error and let cmd/* decide the exit status", kind)
+			return true
+		}
+
+		// cmd/* package rules.
+		if strings.HasPrefix(kind, "log.Fatal") {
+			pass.Reportf(call.Pos(), "%s hardwires exit status 1, bypassing the audited exit conventions (2 = usage, 1 = runtime failure): report to os.Stderr and call os.Exit explicitly", kind)
+			return true
+		}
+		checkExitStatus(pass, call, encl, stack)
+		return true
+	})
+	return nil, nil
+}
+
+// checkExitStatus enforces literal 0/1/2 statuses and the exit-2 usage
+// convention inside cmd packages.
+func checkExitStatus(pass *analysis.Pass, call *ast.CallExpr, encl *ast.FuncDecl, stack []ast.Node) {
+	if len(call.Args) != 1 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok {
+		pass.Reportf(call.Pos(), "os.Exit status must be an explicit literal (0, 1 or 2) so the exit conventions stay auditable")
+		return
+	}
+	code, err := strconv.Atoi(lit.Value)
+	if err != nil || code < 0 || code > 2 {
+		pass.Reportf(call.Pos(), "os.Exit(%s): the audited statuses are 0 (success), 1 (runtime failure) and 2 (usage/flag validation)", lit.Value)
+		return
+	}
+	if code == 2 {
+		return
+	}
+	if encl != nil && callsFlagUsage(pass, encl) {
+		pass.Reportf(call.Pos(), "os.Exit(%s) in a usage-error function (it calls flag.Usage): flag-validation failures must exit 2", lit.Value)
+		return
+	}
+	if guardedByValidator(pass, stack) {
+		pass.Reportf(call.Pos(), "os.Exit(%s) on a flag-validation failure path: the audited convention is exit status 2", lit.Value)
+	}
+}
+
+// callsFlagUsage reports whether the function body calls flag.Usage (the
+// marker of a usage-error helper).
+func callsFlagUsage(pass *analysis.Pass, decl *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(pass, call); fn != nil && fn.Pkg() != nil &&
+			fn.Pkg().Path() == "flag" && fn.Name() == "Usage" {
+			found = true
+		}
+		// flag.Usage is a package-level var, not a func; also match the
+		// selector form syntactically.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == "flag" && sel.Sel.Name == "Usage" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// guardedByValidator reports whether the os.Exit call sits inside an if
+// whose condition involves the result of a validateFlags*/parse* call —
+// directly (`if err := validateFlags(...); err != nil`) or through a
+// variable previously assigned from one in the same function.
+func guardedByValidator(pass *analysis.Pass, stack []ast.Node) bool {
+	encl := enclosingFuncDecl(stack)
+	validated := map[types.Object]bool{}
+	if encl != nil && encl.Body != nil {
+		ast.Inspect(encl.Body, func(n ast.Node) bool {
+			asg, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			fromValidator := false
+			for _, r := range asg.Rhs {
+				if call, ok := ast.Unparen(r).(*ast.CallExpr); ok {
+					if fn := calleeFunc(pass, call); fn != nil && validatorCall.MatchString(fn.Name()) {
+						fromValidator = true
+					}
+				}
+			}
+			if !fromValidator {
+				return true
+			}
+			for _, l := range asg.Lhs {
+				if id, ok := l.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+						isErr := false
+						if t := obj.Type(); t != nil {
+							isErr = t.String() == "error"
+						}
+						if isErr {
+							validated[obj] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifst, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		uses := false
+		ast.Inspect(ifst.Cond, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.Ident:
+				if obj := pass.TypesInfo.ObjectOf(x); obj != nil && validated[obj] {
+					uses = true
+				}
+			case *ast.CallExpr:
+				if fn := calleeFunc(pass, x); fn != nil && validatorCall.MatchString(fn.Name()) {
+					uses = true
+				}
+			}
+			return !uses
+		})
+		if ifst.Init != nil {
+			ast.Inspect(ifst.Init, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if fn := calleeFunc(pass, call); fn != nil && validatorCall.MatchString(fn.Name()) {
+						uses = true
+					}
+				}
+				return !uses
+			})
+		}
+		if uses {
+			return true
+		}
+	}
+	return false
+}
+
+// terminatorKind classifies process-terminating calls; "" means none.
+func terminatorKind(fn *types.Func) string {
+	switch fn.Pkg().Path() {
+	case "os":
+		if fn.Name() == "Exit" {
+			return "os.Exit"
+		}
+	case "log":
+		if strings.HasPrefix(fn.Name(), "Fatal") {
+			return "log." + fn.Name()
+		}
+	}
+	return ""
+}
+
+func enclosingFuncDecl(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if d, ok := stack[i].(*ast.FuncDecl); ok {
+			return d
+		}
+	}
+	return nil
+}
+
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}

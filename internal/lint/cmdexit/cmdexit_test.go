@@ -1,0 +1,21 @@
+package cmdexit_test
+
+import (
+	"testing"
+
+	"github.com/dyngraph/churnnet/internal/lint/cmdexit"
+	"github.com/dyngraph/churnnet/internal/lint/linttest"
+)
+
+// TestCmdexit drives the analyzer over the testdata tree: non-audited and
+// non-literal statuses, log.Fatal* anywhere, usage-error helpers exiting 1,
+// validator-guarded exits != 2, and library-package terminators all fire;
+// the audited main-sequence (validate→2, run→1, success→0), exit-2 usage
+// helpers, non-validator error guards, and example func main do not.
+func TestCmdexit(t *testing.T) {
+	linttest.Run(t, cmdexit.Analyzer, "testdata",
+		"churnvettest/cmd/foo",
+		"churnvettest/internal/util",
+		"churnvettest/example",
+	)
+}

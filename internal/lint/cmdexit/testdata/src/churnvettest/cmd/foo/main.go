@@ -1,0 +1,83 @@
+// Command foo is cmdexit testdata: the audited exit conventions inside a
+// cmd/* package (0 = success, 1 = runtime failure, 2 = usage).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+)
+
+var n = flag.Int("n", 0, "count")
+
+func main() {
+	flag.Parse()
+	if err := validateFlags(); err != nil {
+		fmt.Fprintln(os.Stderr, "foo:", err)
+		os.Exit(2)
+	}
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "foo:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+func validateFlags() error {
+	if *n <= 0 {
+		return errors.New("-n must be positive")
+	}
+	return nil
+}
+
+func run() error { return nil }
+
+// badStatuses: anything outside the audited trio, or non-literal.
+func badStatuses(code int) {
+	os.Exit(3)    // want `os\.Exit\(3\): the audited statuses are 0 \(success\), 1 \(runtime failure\) and 2 \(usage/flag validation\)`
+	os.Exit(code) // want `os\.Exit status must be an explicit literal`
+}
+
+// fatals: log.Fatal* bypasses the convention even in cmd/*.
+func fatals(err error) {
+	log.Fatal(err)             // want `log\.Fatal hardwires exit status 1`
+	log.Fatalf("bad: %v", err) // want `log\.Fatalf hardwires exit status 1`
+}
+
+// usageWrong is a usage-error helper (it calls flag.Usage) exiting 1.
+func usageWrong(msg string) {
+	fmt.Fprintln(os.Stderr, msg)
+	flag.Usage()
+	os.Exit(1) // want `os\.Exit\(1\) in a usage-error function \(it calls flag\.Usage\): flag-validation failures must exit 2`
+}
+
+// usageRight exits 2.
+func usageRight(msg string) {
+	fmt.Fprintln(os.Stderr, msg)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// validationWrong exits 1 under a validator-derived condition.
+func validationWrong() {
+	if err := validateFlags(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1) // want `os\.Exit\(1\) on a flag-validation failure path: the audited convention is exit status 2`
+	}
+	err := parseExtra()
+	if err != nil {
+		os.Exit(1) // want `os\.Exit\(1\) on a flag-validation failure path: the audited convention is exit status 2`
+	}
+}
+
+func parseExtra() error { return nil }
+
+// runtimeFailure: exit 1 guarded by a non-validator error is fine.
+func runtimeFailure() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

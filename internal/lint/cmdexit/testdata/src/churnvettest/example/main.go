@@ -1,0 +1,16 @@
+// Package main is cmdexit testdata: a non-cmd example binary. Its func
+// main may exit directly; helpers may not.
+package main
+
+import "os"
+
+func main() {
+	if len(os.Args) < 2 {
+		os.Exit(1)
+	}
+	helper()
+}
+
+func helper() {
+	os.Exit(1) // want `os\.Exit in a library package: return an error and let cmd/\* decide the exit status`
+}

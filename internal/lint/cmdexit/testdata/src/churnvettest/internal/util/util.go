@@ -1,0 +1,19 @@
+// Package util is cmdexit testdata: library packages never terminate the
+// process.
+package util
+
+import (
+	"errors"
+	"log"
+	"os"
+)
+
+func Load(path string) error {
+	if path == "" {
+		os.Exit(1) // want `os\.Exit in a library package: return an error and let cmd/\* decide the exit status`
+	}
+	if path == "-" {
+		log.Fatalln("stdin unsupported") // want `log\.Fatalln in a library package: return an error and let cmd/\* decide the exit status`
+	}
+	return errors.New("unreachable")
+}

@@ -1,0 +1,240 @@
+// Package detsource implements the churnvet analyzer that forbids
+// nondeterminism sources in the deterministic packages.
+//
+// The engine's defining contract (DESIGN.md) is that every
+// flood/traffic/tracker result is bit-for-bit reproducible from the seed at
+// any worker count. Each rule below bans one canonical way that contract
+// rots at the source level:
+//
+//   - global math/rand and math/rand/v2 top-level functions (process-seeded
+//     RNG state; constructors like rand.New(rand.NewSource(seed)) stay
+//     legal — explicit seeds are the whole point);
+//   - time.Now / time.Since / time.Until (wall-clock values);
+//   - os.Getenv / os.LookupEnv / os.Environ (environment-conditioned
+//     logic);
+//   - runtime.GOMAXPROCS outside a sanctioned worker-count sink.
+//     graph.AutoWorkers is the built-in sink; a function annotated
+//     "//churnvet:worksink <reason>" is a declared one. Sinks are exported
+//     as an IsWorkerSink fact so downstream packages know their results
+//     are GOMAXPROCS-dependent: a sink call result may only be stored into
+//     a worker-count-named variable (w, par, workers, parallelism, shards,
+//     ...), keeping core-count dependence confined to "how many workers",
+//     never "what is computed".
+//
+// detsource also owns the annotation grammar: an unknown //churnvet:
+// directive name or a directive without a reason is reported here, in
+// every package.
+package detsource
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"github.com/dyngraph/churnnet/internal/lint"
+)
+
+// IsWorkerSink marks a function as sanctioned worker-count selection: it
+// may read runtime.GOMAXPROCS, and its result is known to be
+// GOMAXPROCS-dependent at every call site.
+type IsWorkerSink struct{}
+
+func (*IsWorkerSink) AFact()         {}
+func (*IsWorkerSink) String() string { return "workerSink" }
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "detsource",
+	Doc:       "forbid nondeterminism sources (global rand, wall clock, env, GOMAXPROCS) in the deterministic packages",
+	URL:       "https://github.com/dyngraph/churnnet/blob/main/DESIGN.md",
+	Requires:  []*analysis.Analyzer{inspect.Analyzer},
+	FactTypes: []analysis.Fact{(*IsWorkerSink)(nil)},
+	Run:       run,
+}
+
+var detpkgs string
+
+func init() {
+	Analyzer.Flags.StringVar(&detpkgs, "detpkgs", "", "comma-separated package-path suffixes overriding the deterministic-package roster")
+}
+
+// randConstructors are the math/rand[/v2] package-level functions that
+// build explicitly-seeded generators rather than touching global state.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// workerish matches variable names that are self-evidently worker counts.
+var workerish = regexp.MustCompile(`(?i)^(w|par|workers?|n?workers?|parallel(ism)?|shards?|nshards?|cores?|procs?)$`)
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	dirs := lint.ParseDirectives(pass)
+
+	// Grammar validation runs in every package, deterministic or not.
+	for _, d := range dirs.All() {
+		if !lint.KnownDirectives[d.Name] {
+			pass.Reportf(d.Pos, "unknown churnvet directive %q (known: ordered, hookexempt, worksink, shardexempt)", d.Name)
+			continue
+		}
+		if d.Reason == "" {
+			pass.Reportf(d.Pos, "churnvet:%s needs a reason: //churnvet:%s <why this is justified>", d.Name, d.Name)
+		}
+	}
+
+	det := lint.IsDeterministicPkg(pass.Pkg.Path(), detpkgs)
+
+	// Export IsWorkerSink facts first (even in non-deterministic packages:
+	// graph.AutoWorkers must be visible everywhere). A sink is
+	// graph.AutoWorkers or any //churnvet:worksink-annotated function.
+	for n := range ins.PreorderSeq((*ast.FuncDecl)(nil)) {
+		decl := n.(*ast.FuncDecl)
+		fn, ok := pass.TypesInfo.Defs[decl.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		_, annotated := dirs.ForFunc(decl, "worksink")
+		builtin := decl.Name.Name == "AutoWorkers" &&
+			lint.PathHasSuffix(pass.Pkg.Path(), lint.GraphPkgSuffix)
+		if annotated || builtin {
+			pass.ExportObjectFact(fn, &IsWorkerSink{})
+		}
+	}
+
+	if !det {
+		return nil, nil
+	}
+
+	ins.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		call := n.(*ast.CallExpr)
+		if lint.IsTestFile(pass, call.Pos()) {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil {
+			return true
+		}
+		pkg := fn.Pkg()
+		if pkg == nil {
+			return true
+		}
+		switch pkg.Path() {
+		case "math/rand", "math/rand/v2":
+			if fn.Type().(*types.Signature).Recv() == nil && !randConstructors[fn.Name()] {
+				pass.Reportf(call.Pos(), "call to global %s.%s in deterministic package %s: use an explicitly seeded generator (rng.RNG or rand.New(rand.NewSource(seed)))",
+					pkg.Path(), fn.Name(), pass.Pkg.Name())
+			}
+		case "time":
+			switch fn.Name() {
+			case "Now", "Since", "Until":
+				pass.Reportf(call.Pos(), "call to time.%s in deterministic package %s: wall-clock values must not influence results (thread model time explicitly)",
+					fn.Name(), pass.Pkg.Name())
+			}
+		case "os":
+			switch fn.Name() {
+			case "Getenv", "LookupEnv", "Environ":
+				pass.Reportf(call.Pos(), "call to os.%s in deterministic package %s: environment-conditioned logic breaks the reproducibility contract",
+					fn.Name(), pass.Pkg.Name())
+			}
+		case "runtime":
+			if fn.Name() == "GOMAXPROCS" {
+				checkGOMAXPROCS(pass, dirs, call, stack)
+			}
+		default:
+			checkSinkCall(pass, fn, call, stack)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// checkGOMAXPROCS allows runtime.GOMAXPROCS(0) inside a worker-count sink
+// and reports everything else.
+func checkGOMAXPROCS(pass *analysis.Pass, dirs *lint.FileDirectives, call *ast.CallExpr, stack []ast.Node) {
+	if len(call.Args) == 1 {
+		if lit, ok := call.Args[0].(*ast.BasicLit); !ok || lit.Value != "0" {
+			pass.Reportf(call.Pos(), "runtime.GOMAXPROCS with a non-zero argument mutates the scheduler; deterministic packages may only read it (GOMAXPROCS(0))")
+			return
+		}
+	}
+	decl := enclosingFuncDecl(stack)
+	if decl != nil {
+		if _, ok := dirs.ForFunc(decl, "worksink"); ok {
+			return
+		}
+		if fn, ok := pass.TypesInfo.Defs[decl.Name].(*types.Func); ok {
+			var sink IsWorkerSink
+			if pass.ImportObjectFact(fn, &sink) {
+				return
+			}
+		}
+	}
+	pass.Reportf(call.Pos(), "runtime.GOMAXPROCS read outside a worker-count sink: route it through graph.AutoWorkers, or annotate the function with //churnvet:worksink <reason> if it only selects worker counts")
+}
+
+// checkSinkCall enforces that the result of a fact-marked worker-count
+// sink lands in a worker-count-named variable (or is used structurally:
+// returns, comparisons and call arguments are left alone).
+func checkSinkCall(pass *analysis.Pass, fn *types.Func, call *ast.CallExpr, stack []ast.Node) {
+	var sink IsWorkerSink
+	if !pass.ImportObjectFact(fn, &sink) {
+		return
+	}
+	if len(stack) < 2 {
+		return
+	}
+	parent := stack[len(stack)-2]
+	assign, ok := parent.(*ast.AssignStmt)
+	if !ok || len(assign.Rhs) != 1 || assign.Rhs[0] != ast.Expr(call) {
+		return
+	}
+	for _, l := range assign.Lhs {
+		name := lhsName(l)
+		if name != "" && name != "_" && !workerish.MatchString(name) {
+			pass.Reportf(call.Pos(), "GOMAXPROCS-dependent result of %s assigned to %q: worker-count sinks may only feed worker-count selection (name it like workers/par/w, or compute it elsewhere)",
+				fn.Name(), name)
+		}
+	}
+}
+
+func lhsName(e ast.Expr) string {
+	switch l := e.(type) {
+	case *ast.Ident:
+		return l.Name
+	case *ast.SelectorExpr:
+		return l.Sel.Name
+	}
+	return ""
+}
+
+func enclosingFuncDecl(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if d, ok := stack[i].(*ast.FuncDecl); ok {
+			return d
+		}
+	}
+	return nil
+}
+
+// calleeFunc resolves the called function object, seeing through
+// selector-qualified and plain identifiers.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}

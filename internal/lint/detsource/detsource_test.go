@@ -1,0 +1,21 @@
+package detsource_test
+
+import (
+	"testing"
+
+	"github.com/dyngraph/churnnet/internal/lint/detsource"
+	"github.com/dyngraph/churnnet/internal/lint/linttest"
+)
+
+// TestDetsource drives the analyzer over the testdata tree: firing cases
+// in the deterministic packages (core, graph), cross-package sink
+// recognition through the IsWorkerSink fact (flood imports graph), and the
+// no-finding corpus (notdet, plus the seeded-generator idiom in core).
+func TestDetsource(t *testing.T) {
+	linttest.Run(t, detsource.Analyzer, "testdata",
+		"churnvettest/internal/core",
+		"churnvettest/internal/graph",
+		"churnvettest/internal/flood",
+		"churnvettest/notdet",
+	)
+}

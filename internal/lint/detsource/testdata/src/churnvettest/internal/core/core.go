@@ -1,0 +1,70 @@
+// Package core is detsource testdata: a deterministic package (roster
+// suffix internal/core) exercising every forbidden nondeterminism source.
+package core
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"os"
+	"runtime"
+	"time"
+)
+
+func globals() int {
+	n := rand.Intn(10)                 // want `call to global math/rand\.Intn`
+	f := randv2.Float64()              // want `call to global math/rand/v2\.Float64`
+	rand.Shuffle(n, func(i, j int) {}) // want `call to global math/rand\.Shuffle`
+	return n + int(f)
+}
+
+// seeded generators are the sanctioned alternative: no findings.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func clock() time.Duration {
+	t0 := time.Now()      // want `call to time\.Now`
+	return time.Since(t0) // want `call to time\.Since`
+}
+
+func env() string {
+	v := os.Getenv("CHURN_DEBUG")       // want `call to os\.Getenv`
+	if _, ok := os.LookupEnv("X"); ok { // want `call to os\.LookupEnv`
+		return "set"
+	}
+	return v
+}
+
+func badProcs() int {
+	return runtime.GOMAXPROCS(0) // want `runtime\.GOMAXPROCS read outside a worker-count sink`
+}
+
+func setProcs() {
+	runtime.GOMAXPROCS(4) // want `runtime\.GOMAXPROCS with a non-zero argument`
+}
+
+// declaredSink selects a worker count; the annotation sanctions the read
+// and exports the IsWorkerSink fact.
+//
+//churnvet:worksink worker-pool sizing only; results are W-invariant
+func declaredSink(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+//churnvet:worksink missing-reason case is reported at the directive, not here
+func okSink() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+//churnvet:typo bogus directive name // want `unknown churnvet directive "typo"`
+func misannotated() {}
+
+//churnvet:worksink // want `churnvet:worksink needs a reason`
+func noReason() int {
+	return runtime.GOMAXPROCS(0)
+}

@@ -1,0 +1,28 @@
+// Package flood is detsource testdata: cross-package recognition of
+// worker-count sinks through the IsWorkerSink fact.
+package flood
+
+import "churnvettest/internal/graph"
+
+// good: a sink result stored under a worker-count name stays confined to
+// worker selection.
+func good(n int) int {
+	workers := graph.AutoWorkers(n)
+	par := graph.AutoWorkers(n)
+	return workers + par
+}
+
+// bad: the GOMAXPROCS-dependent value leaks into a generic variable that
+// could flow anywhere.
+func bad(n int) int {
+	chunk := graph.AutoWorkers(n) // want `GOMAXPROCS-dependent result of AutoWorkers assigned to "chunk"`
+	return n / chunk
+}
+
+// structural uses (args, returns, comparisons) are not flagged.
+func structural(n int) int {
+	if graph.AutoWorkers(n) > 4 {
+		return 4
+	}
+	return graph.AutoWorkers(n)
+}

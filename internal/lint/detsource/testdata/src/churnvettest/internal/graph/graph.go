@@ -1,0 +1,23 @@
+// Package graph is detsource testdata: AutoWorkers is the built-in
+// worker-count sink, recognized by name and exported as a fact.
+package graph
+
+import "runtime"
+
+// AutoWorkers mirrors the real policy function: it may read GOMAXPROCS
+// without any annotation, and importers see the IsWorkerSink fact.
+func AutoWorkers(n int) int {
+	w := n / 1024
+	if max := runtime.GOMAXPROCS(0); w > max {
+		w = max
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// notASink is ordinary code: reading GOMAXPROCS here is a finding.
+func notASink() int {
+	return runtime.GOMAXPROCS(0) // want `runtime\.GOMAXPROCS read outside a worker-count sink`
+}

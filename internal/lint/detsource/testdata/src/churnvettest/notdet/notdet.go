@@ -1,0 +1,21 @@
+// Package notdet is detsource testdata: NOT on the deterministic roster,
+// so nondeterminism sources are legal here (only the directive grammar is
+// still checked).
+package notdet
+
+import (
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+)
+
+func allowed() int {
+	n := rand.Intn(10)
+	_ = time.Now()
+	_ = os.Getenv("X")
+	return n + runtime.GOMAXPROCS(0)
+}
+
+//churnvet:bogus name outside det packages is still validated // want `unknown churnvet directive "bogus"`
+func annotated() {}

@@ -1,0 +1,20 @@
+package hookfire_test
+
+import (
+	"testing"
+
+	"github.com/dyngraph/churnnet/internal/lint/hookfire"
+	"github.com/dyngraph/churnnet/internal/lint/linttest"
+)
+
+// TestHookfire drives the analyzer over the testdata tree: unhooked and
+// leaky-branch mutations fire; nil-guarded direct fires, replay-helper
+// forwarding, per-branch fires, //churnvet:hookexempt functions, function
+// literals with their own CFGs, package graph itself, and same-named
+// methods on non-graph types do not.
+func TestHookfire(t *testing.T) {
+	linttest.Run(t, hookfire.Analyzer, "testdata",
+		"churnvettest/internal/graph",
+		"churnvettest/internal/core",
+	)
+}

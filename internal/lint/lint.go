@@ -1,0 +1,218 @@
+// Package lint holds the pieces shared by the churnvet analyzers: the
+// //churnvet: annotation grammar, the deterministic-package roster, and
+// small position helpers.
+//
+// The analyzers (detsource, maprange, hookfire, shardstage, cmdexit — see
+// the sibling packages and DESIGN.md "Static enforcement of the determinism
+// contract") turn the runtime determinism oracles of PRs 2–6 into
+// compile-time checks. They are wired into `go vet` through
+// cmd/churnvet.
+//
+// # Annotation grammar
+//
+// A churnvet annotation is a //-comment directive (no space after the
+// slashes, like //go:build) of the form
+//
+//	//churnvet:<name> <reason>
+//
+// placed either on the flagged line or in the comment group immediately
+// above it. The reason is mandatory: an annotation without one is itself a
+// finding. Recognized names:
+//
+//	ordered     — this range-over-map is order-insensitive for a reason
+//	              the analyzer cannot prove (maprange)
+//	hookexempt  — this function mutates adjacency without firing OnEdge
+//	              on purpose (hookfire)
+//	worksink    — this function is worker-count selection and may read
+//	              runtime.GOMAXPROCS (detsource)
+//	shardexempt — this write inside a worker callback is safe despite
+//	              not being indexed by the worker's shard (shardstage)
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// DeterministicPkgs is the default roster of packages bound by the
+// bit-for-bit determinism contract (DESIGN.md): every flood/traffic/tracker
+// result must be invariant at any worker count, so nondeterminism sources
+// are forbidden in them outright. Matching is by import-path suffix so the
+// roster also covers testdata trees that mirror the layout.
+var DeterministicPkgs = []string{
+	"internal/core",
+	"internal/churn",
+	"internal/flood",
+	"internal/expansion",
+	"internal/graph",
+	"internal/runner",
+	"internal/dist",
+	"internal/rng",
+}
+
+// GraphPkgSuffix identifies the arena-graph package, the one package whose
+// internals may append adjacency without firing hooks (it is below the hook
+// plane; the hooks fire at its call sites).
+const GraphPkgSuffix = "internal/graph"
+
+// IsDeterministicPkg reports whether the package path is on the roster.
+// The roster can be overridden (comma-separated suffix list) for tests.
+func IsDeterministicPkg(path string, override string) bool {
+	roster := DeterministicPkgs
+	if override != "" {
+		roster = strings.Split(override, ",")
+	}
+	for _, suffix := range roster {
+		if pathHasSuffix(path, strings.TrimSpace(suffix)) {
+			return true
+		}
+	}
+	return false
+}
+
+// pathHasSuffix reports whether path ends with the slash-separated suffix
+// on an element boundary ("a/internal/core" matches "internal/core";
+// "a/notinternal/core" does not).
+func pathHasSuffix(path, suffix string) bool {
+	if suffix == "" {
+		return false
+	}
+	if path == suffix {
+		return true
+	}
+	return strings.HasSuffix(path, "/"+suffix)
+}
+
+// PathHasSuffix is pathHasSuffix for use by the analyzers.
+func PathHasSuffix(path, suffix string) bool { return pathHasSuffix(path, suffix) }
+
+// IsTestFile reports whether pos lies in a _test.go file. The determinism
+// contract binds engine code; tests seed their own RNGs and may iterate
+// maps freely.
+func IsTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Directive is one parsed //churnvet: annotation.
+type Directive struct {
+	Name   string // "ordered", "hookexempt", ...
+	Reason string // justification text; "" is invalid
+	Pos    token.Pos
+}
+
+// KnownDirectives is the set of valid annotation names.
+var KnownDirectives = map[string]bool{
+	"ordered":     true,
+	"hookexempt":  true,
+	"worksink":    true,
+	"shardexempt": true,
+}
+
+const directivePrefix = "//churnvet:"
+
+// FileDirectives maps "filename:line" of the line *below* each directive
+// comment (and of the directive's own line, for end-of-line placement) to
+// the directives that govern it.
+type FileDirectives struct {
+	pass *analysis.Pass
+	byLC map[string][]Directive
+}
+
+// ParseDirectives scans every comment in the package once.
+func ParseDirectives(pass *analysis.Pass) *FileDirectives {
+	fd := &FileDirectives{pass: pass, byLC: make(map[string][]Directive)}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				name, reason, _ := strings.Cut(rest, " ")
+				// A nested "// ..." is a trailing comment (test want
+				// markers and the like), not a justification.
+				if i := strings.Index(reason, "//"); i >= 0 {
+					reason = reason[:i]
+				}
+				d := Directive{Name: name, Reason: strings.TrimSpace(reason), Pos: c.Pos()}
+				p := pass.Fset.Position(c.Pos())
+				// The directive governs its own line (end-of-line form)
+				// and the next line (comment-above form).
+				fd.add(p.Filename, p.Line, d)
+				fd.add(p.Filename, p.Line+1, d)
+			}
+		}
+	}
+	return fd
+}
+
+func (fd *FileDirectives) add(file string, line int, d Directive) {
+	k := key(file, line)
+	fd.byLC[k] = append(fd.byLC[k], d)
+}
+
+func key(file string, line int) string {
+	var sb strings.Builder
+	sb.WriteString(file)
+	sb.WriteByte('#')
+	for ; line > 0; line /= 10 {
+		sb.WriteByte(byte('0' + line%10))
+	}
+	return sb.String()
+}
+
+// At returns the directive of the given name governing pos, if any. A
+// directive governs a position when it sits on the same line or the line
+// directly above.
+func (fd *FileDirectives) At(pos token.Pos, name string) (Directive, bool) {
+	p := fd.pass.Fset.Position(pos)
+	for _, d := range fd.byLC[key(p.Filename, p.Line)] {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// ForFunc returns the directive of the given name governing a function
+// declaration: on the line of the func keyword, directly above it, or
+// anywhere in its doc comment.
+func (fd *FileDirectives) ForFunc(decl *ast.FuncDecl, name string) (Directive, bool) {
+	if d, ok := fd.At(decl.Pos(), name); ok {
+		return d, true
+	}
+	if decl.Doc != nil {
+		for _, c := range decl.Doc.List {
+			if strings.HasPrefix(c.Text, directivePrefix+name) {
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				n, reason, _ := strings.Cut(rest, " ")
+				if i := strings.Index(reason, "//"); i >= 0 {
+					reason = reason[:i]
+				}
+				if n == name {
+					return Directive{Name: n, Reason: strings.TrimSpace(reason), Pos: c.Pos()}, true
+				}
+			}
+		}
+	}
+	return Directive{}, false
+}
+
+// All returns every parsed directive (used by detsource to validate the
+// grammar: unknown names and missing reasons are findings).
+func (fd *FileDirectives) All() []Directive {
+	seen := make(map[token.Pos]bool)
+	var out []Directive
+	for _, ds := range fd.byLC {
+		for _, d := range ds {
+			if !seen[d.Pos] {
+				seen[d.Pos] = true
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}

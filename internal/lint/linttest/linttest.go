@@ -1,0 +1,378 @@
+// Package linttest is a self-contained analysistest replacement for the
+// churnvet analyzers.
+//
+// golang.org/x/tools/go/analysis/analysistest is not vendored with the Go
+// toolchain (only the analysis framework itself is), and this repo builds
+// offline from its vendor directory. linttest reimplements the part the
+// churnvet suite needs: load a testdata package tree from
+// testdata/src/<path>, typecheck it against the standard library (source
+// importer) and its testdata-local imports, run an analyzer and its
+// Requires closure in dependency order — carrying object facts across
+// testdata packages — and compare reported diagnostics against
+// analysistest-style trailing comments:
+//
+//	x := rand.Int() // want "call to global math/rand"
+//
+// Each `// want` comment holds one or more double- or back-quoted regexes;
+// every regex must be matched by a diagnostic on that line and every
+// diagnostic must match a regex.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads each named package from dir/src/<path>, applies the analyzer,
+// and reports mismatches against the packages' `// want` comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir string, paths ...string) {
+	t.Helper()
+	l := newLoader(filepath.Join(dir, "src"))
+	r := &runner{
+		loader:   l,
+		results:  make(map[resultKey]*passResult),
+		objFacts: make(map[types.Object][]analysis.Fact),
+		pkgFacts: make(map[*types.Package][]analysis.Fact),
+	}
+	for _, path := range paths {
+		pi, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		res, err := r.run(a, pi)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		checkDiagnostics(t, l.fset, pi, res.diagnostics)
+	}
+}
+
+// SetFlag sets an analyzer flag for the duration of the test.
+func SetFlag(t *testing.T, a *analysis.Analyzer, name, value string) {
+	t.Helper()
+	f := a.Flags.Lookup(name)
+	if f == nil {
+		t.Fatalf("analyzer %s has no flag -%s", a.Name, name)
+	}
+	old := f.Value.String()
+	if err := a.Flags.Set(name, value); err != nil {
+		t.Fatalf("setting -%s=%s: %v", name, value, err)
+	}
+	t.Cleanup(func() { _ = a.Flags.Set(name, old) })
+}
+
+// --- package loading ---
+
+type pkgInfo struct {
+	path  string
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+type loader struct {
+	fset *token.FileSet
+	root string
+	std  types.Importer
+	pkgs map[string]*pkgInfo
+}
+
+func newLoader(root string) *loader {
+	l := &loader{fset: token.NewFileSet(), root: root, pkgs: make(map[string]*pkgInfo)}
+	l.std = importer.ForCompiler(l.fset, "source", nil)
+	return l
+}
+
+// Import implements types.Importer: testdata-local paths load from the
+// tree, everything else falls back to the standard library.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if pi, ok := l.pkgs[path]; ok {
+		return pi.pkg, nil
+	}
+	if _, err := os.Stat(filepath.Join(l.root, filepath.FromSlash(path))); err == nil {
+		pi, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pi.pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(path string) (*pkgInfo, error) {
+	if pi, ok := l.pkgs[path]; ok {
+		return pi, nil
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, filepath.Join(dir, e.Name()))
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	pi := &pkgInfo{path: path, files: files, pkg: pkg, info: info}
+	l.pkgs[path] = pi
+	return pi, nil
+}
+
+// --- analyzer running ---
+
+type resultKey struct {
+	a   *analysis.Analyzer
+	pkg string
+}
+
+type passResult struct {
+	value       interface{}
+	diagnostics []analysis.Diagnostic
+}
+
+type runner struct {
+	loader   *loader
+	results  map[resultKey]*passResult
+	objFacts map[types.Object][]analysis.Fact
+	pkgFacts map[*types.Package][]analysis.Fact
+}
+
+// run applies the analyzer to the package, first running it over
+// testdata-local imports (for facts) and its Requires closure over the
+// package itself.
+func (r *runner) run(a *analysis.Analyzer, pi *pkgInfo) (*passResult, error) {
+	key := resultKey{a, pi.path}
+	if res, ok := r.results[key]; ok {
+		return res, nil
+	}
+	// Horizontal: facts flow from imports.
+	if len(a.FactTypes) > 0 {
+		for _, imp := range pi.pkg.Imports() {
+			if dep, ok := r.loader.pkgs[imp.Path()]; ok {
+				if _, err := r.run(a, dep); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Vertical: results flow from required analyzers on the same package.
+	resultOf := make(map[*analysis.Analyzer]interface{})
+	for _, req := range a.Requires {
+		res, err := r.run(req, pi)
+		if err != nil {
+			return nil, err
+		}
+		resultOf[req] = res.value
+	}
+
+	res := &passResult{}
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       r.loader.fset,
+		Files:      pi.files,
+		Pkg:        pi.pkg,
+		TypesInfo:  pi.info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   resultOf,
+		Report: func(d analysis.Diagnostic) {
+			res.diagnostics = append(res.diagnostics, d)
+		},
+		ReadFile: os.ReadFile,
+		ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+			return importFact(r.objFacts[obj], fact)
+		},
+		ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+			r.objFacts[obj] = append(r.objFacts[obj], fact)
+		},
+		ImportPackageFact: func(pkg *types.Package, fact analysis.Fact) bool {
+			return importFact(r.pkgFacts[pkg], fact)
+		},
+		ExportPackageFact: func(fact analysis.Fact) {
+			r.pkgFacts[pi.pkg] = append(r.pkgFacts[pi.pkg], fact)
+		},
+		AllObjectFacts: func() []analysis.ObjectFact {
+			var out []analysis.ObjectFact
+			for obj, facts := range r.objFacts {
+				for _, f := range facts {
+					out = append(out, analysis.ObjectFact{Object: obj, Fact: f})
+				}
+			}
+			return out
+		},
+		AllPackageFacts: func() []analysis.PackageFact {
+			var out []analysis.PackageFact
+			for pkg, facts := range r.pkgFacts {
+				for _, f := range facts {
+					out = append(out, analysis.PackageFact{Package: pkg, Fact: f})
+				}
+			}
+			return out
+		},
+	}
+	value, err := a.Run(pass)
+	if err != nil {
+		return nil, err
+	}
+	res.value = value
+	r.results[key] = res
+	return res, nil
+}
+
+// importFact copies a stored fact of matching concrete type into the
+// caller's pointer, mirroring the analysis framework's semantics.
+func importFact(stored []analysis.Fact, fact analysis.Fact) bool {
+	want := reflect.TypeOf(fact)
+	for _, f := range stored {
+		if reflect.TypeOf(f) == want {
+			// Both are pointers to the same struct type; shallow-copy.
+			reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(f).Elem())
+			return true
+		}
+	}
+	return false
+}
+
+// --- expectation checking ---
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.+)$`)
+
+type expectation struct {
+	re       *regexp.Regexp
+	raw      string
+	consumed bool
+}
+
+// checkDiagnostics matches diagnostics against `// want` comments.
+func checkDiagnostics(t *testing.T, fset *token.FileSet, pi *pkgInfo, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := make(map[string][]*expectation) // "file#line" -> expectations
+	for _, f := range pi.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				k := posKey(p.Filename, p.Line)
+				for _, raw := range parseQuoted(t, p, m[1]) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", p.Filename, p.Line, raw, err)
+					}
+					wants[k] = append(wants[k], &expectation{re: re, raw: raw})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		k := posKey(p.Filename, p.Line)
+		matched := false
+		for _, exp := range wants[k] {
+			if !exp.consumed && exp.re.MatchString(d.Message) {
+				exp.consumed = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", p.Filename, p.Line, d.Message)
+		}
+	}
+	for k, exps := range wants {
+		for _, exp := range exps {
+			if !exp.consumed {
+				t.Errorf("%s: expected diagnostic matching %q was not reported", strings.ReplaceAll(k, "#", ":"), exp.raw)
+			}
+		}
+	}
+}
+
+func posKey(file string, line int) string {
+	return fmt.Sprintf("%s#%d", file, line)
+}
+
+// parseQuoted splits `"re1" "re2"` / backquoted forms into raw strings.
+func parseQuoted(t *testing.T, p token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) {
+				if s[end] == '\\' {
+					end += 2
+					continue
+				}
+				if s[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(s) {
+				t.Fatalf("%s:%d: unterminated want string: %s", p.Filename, p.Line, s)
+			}
+			raw, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want string %s: %v", p.Filename, p.Line, s[:end+1], err)
+			}
+			out = append(out, raw)
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s:%d: unterminated want string: %s", p.Filename, p.Line, s)
+			}
+			out = append(out, s[1:end+1])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			t.Fatalf("%s:%d: want expects quoted regexps, got %q", p.Filename, p.Line, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,450 @@
+// Package maprange implements the churnvet analyzer that flags range
+// statements over map types in the deterministic packages.
+//
+// Go randomizes map iteration order per run, so a range-over-map whose body
+// has any order-sensitive effect is the canonical way the "bit-for-bit at
+// any worker count" contract rots. A range over a map is accepted only
+// when:
+//
+//   - the loop body is provably order-insensitive under a conservative
+//     whitelist: iteration-local work plus accumulation through
+//     commutative-associative integer ops (+=, |=, ^=, &=, *=, ++, --),
+//     set inserts (m[k] = true / m[k] = struct{}{}) and delete(...), with
+//     control flow limited to pure if/continue; or
+//   - the body only collects keys/values into a function-local slice that
+//     is subsequently passed to sort.* / slices.Sort* in the same function
+//     (the sorted-key-iteration idiom); or
+//   - the statement carries an explicit justification:
+//     //churnvet:ordered <reason>  (same line or the line above).
+//
+// Everything else — min/max reductions, float accumulation, appends,
+// early returns, function calls — is reported: iterate a sorted key slice
+// instead (see expansion.Profile.MinInRange for the idiom).
+package maprange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"github.com/dyngraph/churnnet/internal/lint"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "maprange",
+	Doc:      "flag range-over-map with order-sensitive bodies in the deterministic packages",
+	URL:      "https://github.com/dyngraph/churnnet/blob/main/DESIGN.md",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var detpkgs string
+
+func init() {
+	Analyzer.Flags.StringVar(&detpkgs, "detpkgs", "", "comma-separated package-path suffixes overriding the deterministic-package roster")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !lint.IsDeterministicPkg(pass.Pkg.Path(), detpkgs) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	dirs := lint.ParseDirectives(pass)
+
+	ins.WithStack([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		rng := n.(*ast.RangeStmt)
+		if lint.IsTestFile(pass, rng.Pos()) {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if _, ok := dirs.At(rng.Pos(), "ordered"); ok {
+			return true
+		}
+		chk := &checker{pass: pass, rng: rng}
+		chk.collectLocals(rng)
+		if chk.bodyAllowed(rng.Body) {
+			return true
+		}
+		if chk.collectThenSort(stack) {
+			return true
+		}
+		pass.Reportf(rng.Pos(), "range over map %s in deterministic package: body is not provably order-insensitive; iterate sorted keys, or annotate //churnvet:ordered <reason>",
+			types.TypeString(t, types.RelativeTo(pass.Pkg)))
+		return true
+	})
+	return nil, nil
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	rng    *ast.RangeStmt
+	locals map[types.Object]bool // objects declared inside the loop (incl. key/value)
+}
+
+// collectLocals records every object declared within the range statement:
+// writes to those cannot leak across iterations.
+func (c *checker) collectLocals(rng *ast.RangeStmt) {
+	c.locals = make(map[types.Object]bool)
+	ast.Inspect(rng, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+				c.locals[obj] = true
+			}
+		}
+		return true
+	})
+	// The key/value vars of `for k, v = range m` (assignment form) are
+	// written each iteration by the range itself; treat them as local.
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := c.pass.TypesInfo.ObjectOf(id); obj != nil {
+				c.locals[obj] = true
+			}
+		}
+	}
+}
+
+func (c *checker) bodyAllowed(b *ast.BlockStmt) bool {
+	for _, s := range b.List {
+		if !c.stmtAllowed(s) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *checker) stmtAllowed(s ast.Stmt) bool {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		return c.bodyAllowed(st)
+	case *ast.BranchStmt:
+		return st.Tok == token.CONTINUE
+	case *ast.IncDecStmt:
+		return c.writeAllowed(st.X, true)
+	case *ast.AssignStmt:
+		return c.assignAllowed(st)
+	case *ast.DeclStmt:
+		gd, ok := st.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return false
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				return false
+			}
+			for _, v := range vs.Values {
+				if !c.exprPure(v) {
+					return false
+				}
+			}
+		}
+		return true
+	case *ast.IfStmt:
+		if st.Init != nil && !c.stmtAllowed(st.Init) {
+			return false
+		}
+		if !c.exprPure(st.Cond) {
+			return false
+		}
+		if !c.bodyAllowed(st.Body) {
+			return false
+		}
+		if st.Else != nil {
+			return c.stmtAllowed(st.Else)
+		}
+		return true
+	case *ast.ExprStmt:
+		// delete(m, k) is commutative across iterations.
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "delete" {
+				if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "delete" {
+					return true
+				}
+			}
+		}
+		return false
+	case *ast.EmptyStmt:
+		return true
+	}
+	return false
+}
+
+// assignAllowed accepts iteration-local writes, commutative integer
+// accumulation onto outer variables, and set inserts.
+func (c *checker) assignAllowed(st *ast.AssignStmt) bool {
+	switch st.Tok {
+	case token.DEFINE:
+		for _, r := range st.Rhs {
+			if !c.exprPure(r) {
+				return false
+			}
+		}
+		return true
+	case token.ASSIGN:
+		if len(st.Lhs) != len(st.Rhs) {
+			return false
+		}
+		for _, r := range st.Rhs {
+			if !c.exprPure(r) {
+				return false
+			}
+		}
+		for _, l := range st.Lhs {
+			if c.isLocalWrite(l) {
+				continue
+			}
+			if !c.isSetInsert(l, st) {
+				return false
+			}
+		}
+		return true
+	case token.ADD_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN, token.AND_ASSIGN, token.MUL_ASSIGN:
+		if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+			return false
+		}
+		return c.exprPure(st.Rhs[0]) && c.writeAllowed(st.Lhs[0], true)
+	}
+	return false
+}
+
+// writeAllowed reports whether a compound write target is safe: an
+// iteration-local variable, or (needInt) an integer-typed outer variable —
+// integer +=/|=/^=/&=/*=/++ are commutative and associative, so the
+// iteration order cannot be observed.
+func (c *checker) writeAllowed(l ast.Expr, needInt bool) bool {
+	if c.isLocalWrite(l) {
+		return true
+	}
+	if !c.exprPure(l) { // index/selector chains must themselves be pure
+		return false
+	}
+	if !needInt {
+		return true
+	}
+	t := c.pass.TypesInfo.TypeOf(l)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// isLocalWrite reports whether the write target is rooted at an object
+// declared inside the loop.
+func (c *checker) isLocalWrite(l ast.Expr) bool {
+	for {
+		switch e := l.(type) {
+		case *ast.Ident:
+			obj := c.pass.TypesInfo.ObjectOf(e)
+			return obj != nil && c.locals[obj]
+		case *ast.IndexExpr:
+			l = e.X
+		case *ast.SelectorExpr:
+			l = e.X
+		case *ast.StarExpr:
+			l = e.X
+		case *ast.ParenExpr:
+			l = e.X
+		default:
+			return false
+		}
+	}
+}
+
+// collectThenSort recognizes the sorted-key-iteration idiom: the loop body
+// is exactly `s = append(s, <pure exprs>...)` onto a slice variable, and a
+// later statement in the enclosing function passes s into sort.* or
+// slices.Sort*. The overall effect is order-insensitive because the sort
+// erases the map's iteration order before anything can observe it.
+func (c *checker) collectThenSort(stack []ast.Node) bool {
+	if len(c.rng.Body.List) != 1 {
+		return false
+	}
+	asg, ok := c.rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || asg.Tok != token.ASSIGN || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := ast.Unparen(asg.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := c.pass.TypesInfo.ObjectOf(lhs)
+	if obj == nil {
+		return false
+	}
+	if _, isSlice := obj.Type().Underlying().(*types.Slice); !isSlice {
+		return false
+	}
+	call, ok := ast.Unparen(asg.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := c.pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	if len(call.Args) < 2 {
+		return false
+	}
+	if base, ok := ast.Unparen(call.Args[0]).(*ast.Ident); !ok || c.pass.TypesInfo.ObjectOf(base) != obj {
+		return false
+	}
+	for _, a := range call.Args[1:] {
+		if !c.exprPure(a) {
+			return false
+		}
+	}
+	// Walk out to the enclosing function and look for a sort call on obj
+	// after the loop.
+	var body *ast.BlockStmt
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			body = f.Body
+		case *ast.FuncLit:
+			body = f.Body
+		}
+		if body != nil {
+			break
+		}
+	}
+	if body == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		sc, ok := n.(*ast.CallExpr)
+		if !ok || sc.Pos() < c.rng.End() {
+			return true
+		}
+		sel, ok := ast.Unparen(sc.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := c.pass.TypesInfo.Uses[pkg].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pn.Imported().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, a := range sc.Args {
+			found := false
+			ast.Inspect(a, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && c.pass.TypesInfo.ObjectOf(id) == obj {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				sorted = true
+				break
+			}
+		}
+		return !sorted
+	})
+	return sorted
+}
+
+// isSetInsert accepts m[k] = true / m[k] = struct{}{} onto bool- or
+// struct{}-valued maps: insertion order into a set is unobservable.
+func (c *checker) isSetInsert(l ast.Expr, st *ast.AssignStmt) bool {
+	idx, ok := ast.Unparen(l).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	mt, ok := c.pass.TypesInfo.TypeOf(idx.X).Underlying().(*types.Map)
+	if !ok {
+		return false
+	}
+	if !c.exprPure(idx.X) || !c.exprPure(idx.Index) {
+		return false
+	}
+	// Find the RHS paired with this LHS.
+	var rhs ast.Expr
+	for i, lh := range st.Lhs {
+		if lh == l && i < len(st.Rhs) {
+			rhs = st.Rhs[i]
+		}
+	}
+	if rhs == nil {
+		return false
+	}
+	switch et := mt.Elem().Underlying().(type) {
+	case *types.Basic:
+		if et.Kind() != types.Bool {
+			return false
+		}
+		id, ok := ast.Unparen(rhs).(*ast.Ident)
+		return ok && (id.Name == "true" || id.Name == "false")
+	case *types.Struct:
+		return et.NumFields() == 0
+	}
+	return false
+}
+
+// exprPure reports whether evaluating e has no side effects and calls no
+// functions (len/cap/min/max excepted).
+func (c *checker) exprPure(e ast.Expr) bool {
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if tv, ok := c.pass.TypesInfo.Types[x.Fun]; ok && tv.IsType() {
+				return true // type conversion: pure if the operand is
+			}
+			id, ok := ast.Unparen(x.Fun).(*ast.Ident)
+			if !ok {
+				pure = false
+				return false
+			}
+			b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin)
+			if !ok {
+				pure = false
+				return false
+			}
+			switch b.Name() {
+			case "len", "cap", "min", "max":
+			default:
+				pure = false
+				return false
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW { // channel receive
+				pure = false
+				return false
+			}
+		case *ast.FuncLit:
+			pure = false
+			return false
+		}
+		return true
+	})
+	return pure
+}

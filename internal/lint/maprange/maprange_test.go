@@ -1,0 +1,20 @@
+package maprange_test
+
+import (
+	"testing"
+
+	"github.com/dyngraph/churnnet/internal/lint/linttest"
+	"github.com/dyngraph/churnnet/internal/lint/maprange"
+)
+
+// TestMaprange drives the analyzer over the testdata tree: order-sensitive
+// bodies (min reduction, float accumulation, early return, unsorted key
+// collection) fire; the commutative-integer / set-insert / delete whitelist,
+// the collect-then-sort idiom, and //churnvet:ordered annotations do not.
+// plainpkg is off the deterministic roster and is never checked.
+func TestMaprange(t *testing.T) {
+	linttest.Run(t, maprange.Analyzer, "testdata",
+		"churnvettest/internal/expansion",
+		"churnvettest/plainpkg",
+	)
+}

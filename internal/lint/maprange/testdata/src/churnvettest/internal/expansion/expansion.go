@@ -1,0 +1,142 @@
+// Package expansion is maprange testdata: range-over-map in a
+// deterministic package, covering the order-insensitivity whitelist, the
+// //churnvet:ordered suppression, and order-sensitive bodies.
+package expansion
+
+import "sort"
+
+type witness struct {
+	Size  int
+	Ratio float64
+}
+
+// minReduce is the canonical order-sensitive body: a min reduction over
+// floats with a struct copy.
+func minReduce(m map[int]witness) witness {
+	var best witness
+	for size, w := range m { // want `range over map map\[int\]witness .* not provably order-insensitive`
+		if w.Ratio < best.Ratio {
+			best = w
+			best.Size = size
+		}
+	}
+	return best
+}
+
+// sortedKeys is the sanctioned rewrite: collect-then-sort erases the map's
+// iteration order, so the key-collection loop is accepted without any
+// annotation.
+func sortedKeys(m map[int]witness) witness {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var best witness
+	for _, k := range keys {
+		if w := m[k]; w.Ratio < best.Ratio {
+			best = w
+		}
+	}
+	return best
+}
+
+// counts only accumulates through commutative integer ops: allowed.
+func counts(m map[string]int) (int, int) {
+	total := 0
+	n := 0
+	var mask uint64
+	for _, v := range m {
+		total += v
+		n++
+		mask |= uint64(v)
+		if v > 100 {
+			total += 2 * v
+		}
+	}
+	return total + int(mask), n
+}
+
+// setBuild inserts into set-shaped maps: allowed.
+func setBuild(src map[int]int) map[int]bool {
+	out := make(map[int]bool, len(src))
+	seen := make(map[int]struct{})
+	for k, v := range src {
+		out[k+v] = true
+		seen[k] = struct{}{}
+	}
+	for k := range seen {
+		delete(src, k)
+	}
+	return out
+}
+
+// locals confined to one iteration are free; the iteration's own work can
+// be arbitrary as long as nothing order-dependent escapes.
+func localWork(m map[int]int) int {
+	total := 0
+	for k, v := range m {
+		x := k * v
+		y := x + 1
+		if y > 10 {
+			y = 10
+		}
+		total += y
+	}
+	return total
+}
+
+// floatAccum is NOT exact under reordering: flagged.
+func floatAccum(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `range over map map\[int\]float64`
+		sum += v
+	}
+	return sum
+}
+
+// earlyReturn leaks which key was seen first: flagged.
+func earlyReturn(m map[int]int) int {
+	for k := range m { // want `range over map map\[int\]int`
+		return k
+	}
+	return -1
+}
+
+// justified carries the annotation (above-line form).
+func justified(m map[int]int) int {
+	best := -1
+	//churnvet:ordered max over ints is order-insensitive; analyzer whitelist has no max-reduce
+	for k := range m {
+		if k > best {
+			best = k
+		}
+	}
+	return best
+}
+
+// justifiedInline carries the annotation on the range line itself.
+func justifiedInline(m map[int]chan int) {
+	for _, ch := range m { //churnvet:ordered close order unobservable: no goroutine selects across these
+		close(ch)
+	}
+}
+
+// collectNoSort appends but never sorts: the slice keeps the random
+// iteration order, so the loop is flagged.
+func collectNoSort(m map[int]witness) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m { // want `range over map map\[int\]witness`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sliceRange never fires: only maps have randomized order.
+func sliceRange(s []float64) float64 {
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,10 @@
+// Package plainpkg is maprange testdata: not on the deterministic roster,
+// so arbitrary range-over-map is legal.
+package plainpkg
+
+func FirstKey(m map[string]int) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}

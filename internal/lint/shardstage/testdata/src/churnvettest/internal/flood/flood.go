@@ -1,0 +1,133 @@
+// Package flood is shardstage testdata: staging-buffer discipline inside
+// worker-sweep callbacks and go-launched literals.
+package flood
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// forEachWorker is the sweep shape the analyzer keys on: it runs fn once
+// per worker index with a barrier join.
+func forEachWorker(w int, fn func(w int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); fn(i) }(i)
+	}
+	wg.Wait()
+}
+
+// ownedByIndex stages into worker-indexed buffers: the canonical pattern.
+func ownedByIndex(w int, data []int) []int {
+	out := make([][]int, w)
+	forEachWorker(w, func(w int) {
+		for i := w; i < len(data); i += len(out) {
+			out[w] = append(out[w], data[i])
+		}
+	})
+	merged := []int{}
+	for _, o := range out {
+		merged = append(merged, o...)
+	}
+	return merged
+}
+
+// sharedAppend races every worker onto one slice.
+func sharedAppend(w int, data []int) []int {
+	var shared []int
+	forEachWorker(w, func(w int) {
+		shared = append(shared, data[w]) // want `write to captured shared inside a worker callback`
+	})
+	return shared
+}
+
+// sharedCounter races ++ on a captured int.
+func sharedCounter(w int) int {
+	total := 0
+	forEachWorker(w, func(w int) {
+		total++ // want `write to captured total inside a worker callback`
+	})
+	return total
+}
+
+// chunkClaim is the atomic work-stealing idiom: an index fetched from an
+// atomic counter is an exclusive claim, so writes through it are owned.
+func chunkClaim(w, chunks int, buf [][]int) {
+	var next atomic.Int64
+	forEachWorker(w, func(w int) {
+		for {
+			c := int(next.Add(1)) - 1
+			if c >= chunks {
+				return
+			}
+			buf[c] = append(buf[c], w)
+		}
+	})
+}
+
+// channelClaim receives jobs from a channel: each received index is owned.
+func channelClaim(w int, jobs chan int, res []int) {
+	forEachWorker(w, func(w int) {
+		for j := range jobs {
+			res[j] = j * j
+		}
+	})
+}
+
+// recvExpr claims through a bare receive expression.
+func recvExpr(w int, jobs chan int, res []int) {
+	forEachWorker(w, func(w int) {
+		j := <-jobs
+		res[j] = w
+	})
+}
+
+// goLaunched covers go-statement literals in deterministic packages: the
+// same discipline applies to ad-hoc fan-out.
+func goLaunched(w int, out []int) {
+	var wg sync.WaitGroup
+	bad := 0
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = i // owned: i is a parameter
+			bad++      // want `write to captured bad inside a worker callback`
+		}(i)
+	}
+	wg.Wait()
+	_ = bad
+}
+
+// exemptWrite documents a deliberate shared write at the statement.
+func exemptWrite(w int, mu *sync.Mutex) int {
+	total := 0
+	forEachWorker(w, func(w int) {
+		mu.Lock()
+		//churnvet:shardexempt mutex-guarded tally; order-insensitive integer add
+		total += w
+		mu.Unlock()
+	})
+	return total
+}
+
+// exemptFunc documents the whole function instead.
+//
+//churnvet:shardexempt single-writer by construction: w is pinned to 1 at the call site
+func exemptFunc(w int) int {
+	n := 0
+	forEachWorker(w, func(w int) { n++ })
+	return n
+}
+
+// localsAreFree: anything declared inside the literal is worker-private.
+func localsAreFree(w int, out [][]int) {
+	forEachWorker(w, func(w int) {
+		scratch := make([]int, 0, 8)
+		for i := 0; i < 8; i++ {
+			scratch = append(scratch, i*w)
+		}
+		out[w] = scratch
+	})
+}

@@ -52,6 +52,8 @@ type Config struct {
 }
 
 // workers resolves the effective worker count for n trials.
+//
+//churnvet:worksink resolves Workers<=0 to the GOMAXPROCS default; the result only selects trial parallelism, never trial content
 func (c Config) workers(n int) int {
 	w := c.Workers
 	if w <= 0 {

@@ -14,6 +14,8 @@ import (
 // older than node j when i < j) and one out-edge per listed pair, directed
 // from the first to the second endpoint. It panics on out-of-range or
 // self-loop endpoints.
+//
+//churnvet:hookexempt fixture constructor: the graph is returned before any hook subscriber can attach
 func FromEdges(n int, edges [][2]int) (*graph.Graph, []graph.Handle) {
 	g := graph.New(n, 0)
 	hs := make([]graph.Handle, n)
@@ -110,6 +112,8 @@ func Grid(rows, cols int) (*graph.Graph, []graph.Handle) {
 // DOut returns the static random graph of Lemma B.1: each of n nodes makes
 // d independent uniform requests to other nodes (a multigraph, like the
 // dynamic models at birth). For d >= 3 it is a Θ(1) vertex expander w.h.p.
+//
+//churnvet:hookexempt fixture constructor: the graph is returned before any hook subscriber can attach
 func DOut(n, d int, r *rng.RNG) (*graph.Graph, []graph.Handle) {
 	if n < 2 || d < 0 {
 		panic("staticgraph: DOut requires n >= 2, d >= 0")
