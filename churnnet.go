@@ -229,6 +229,11 @@ const (
 	MessageRetired = flood.MessageRetired
 )
 
+// TrafficMemStats describes a plane's packed informed-state memory
+// layout — slots, lanes, words per slot, and the packed footprint versus
+// the one-Marks-per-lane baseline; see Traffic.MemStats.
+type TrafficMemStats = flood.TrafficMemStats
+
 // NewTraffic opens a traffic plane over m. The plane owns the model until
 // Close: advance it only through Step. It panics if the model does not
 // implement the edge-event contract (all built-in models do).

@@ -1156,14 +1156,43 @@ type trafficResult struct {
 	// as rounds.
 	CompletionHistogram []int `json:"completion_histogram"`
 
-	// OracleNs times the audit: every message of the first repetition
-	// replayed as an independent single-message flood.Run on an
-	// identically seeded model advanced to the injection round. OracleEqual
-	// confirms every per-message Result was bit-for-bit equal — the run
-	// aborts otherwise, so a committed record can never carry false.
-	OracleNs    int64 `json:"oracle_ns"`
-	OracleEqual bool  `json:"oracle_equal"`
+	// Memory-layout columns of the packed lane bitsets (flood.TrafficMemStats,
+	// captured at the end of the first repetition's plane run). Lanes is the
+	// peak simultaneous message count (burst rows: Messages; staggered and
+	// poisson rows: however many overlapped); WordsPerSlot = ceil(Lanes/64).
+	// InformedBytesPerLane is the plane's packed informed-state footprint
+	// divided by Lanes; the Baseline column is what one graph.Marks per lane
+	// costs at the same slot span (12 bytes/slot/lane) and ReductionX their
+	// ratio — the ISSUE 8 acceptance number (>= 4x at M = 1024).
+	Lanes                        int     `json:"lanes"`
+	WordsPerSlot                 int     `json:"words_per_slot"`
+	InformedBytesPerLane         float64 `json:"informed_bytes_per_lane"`
+	InformedBytesPerLaneBaseline float64 `json:"informed_bytes_per_lane_baseline"`
+	InformedReductionX           float64 `json:"informed_reduction_x"`
+
+	// TrafficAllocBytes is the heap allocated during the first repetition's
+	// whole plane run (runtime.MemStats.TotalAlloc delta): injections,
+	// steps, retirements.
+	TrafficAllocBytes uint64 `json:"traffic_alloc_bytes"`
+
+	// OracleNs times the audit: messages of the first repetition replayed
+	// as independent single-message flood.Runs on identically seeded models
+	// advanced to the injection round. All messages are replayed up to
+	// trafficOracleSampleCap; above it an evenly spaced sample including the
+	// first and last admissions is, with OracleAudited recording the count.
+	// OracleEqual confirms every audited Result was bit-for-bit equal — the
+	// run aborts otherwise, so a committed record can never carry false.
+	OracleNs      int64 `json:"oracle_ns"`
+	OracleAudited int   `json:"oracle_audited"`
+	OracleEqual   bool  `json:"oracle_equal"`
 }
+
+// trafficOracleSampleCap bounds the per-row oracle replays: rows up to
+// this many messages are audited in full (every M in the sweep's word-
+// boundary band), larger rows by an evenly spaced sample — the replay arm
+// rebuilds the model per message, which at M = 1024 would otherwise
+// dominate the row by an order of magnitude.
+const trafficOracleSampleCap = 64
 
 type trafficOutput struct {
 	Benchmark  string          `json:"benchmark"`
@@ -1190,14 +1219,27 @@ func runTrafficBench(out, scale string, seed uint64, reps int) {
 			{kind: core.SDGR, n: 2000, d: 21, messages: 6, schedule: "burst", gap: 1, par: 1},
 			{kind: core.SDGR, n: 2000, d: 21, messages: 6, schedule: "staggered", gap: 2, par: 2},
 			{kind: core.PDGR, n: 2000, d: 35, messages: 6, schedule: "poisson", gap: 2, par: 1},
+			// The M sweep: burst rows at message counts crossing the packed
+			// bitset's word seams (1, 1, 4 and 16 words per slot), carrying
+			// the bytes-per-lane and allocation columns.
+			{kind: core.SDGR, n: 2000, d: 21, messages: 16, schedule: "burst", gap: 1, par: 2},
+			{kind: core.SDGR, n: 2000, d: 21, messages: 64, schedule: "burst", gap: 1, par: 2},
+			{kind: core.SDGR, n: 2000, d: 21, messages: 256, schedule: "burst", gap: 1, par: 2},
+			{kind: core.SDGR, n: 2000, d: 21, messages: 1024, schedule: "burst", gap: 1, par: 2},
 		}
 	case "large":
 		cases = []trafficCase{
 			{kind: core.SDGR, n: 1000000, d: 21, messages: 16, schedule: "burst", gap: 1, par: flood.Auto},
-			{kind: core.SDGR, n: 1000000, d: 21, messages: 16, schedule: "staggered", gap: 1, par: flood.Auto},
 			{kind: core.SDGR, n: 1000000, d: 21, messages: 16, schedule: "staggered", gap: 2, par: flood.Auto},
-			{kind: core.SDGR, n: 1000000, d: 21, messages: 16, schedule: "staggered", gap: 4, par: flood.Auto},
 			{kind: core.PDGR, n: 1000000, d: 35, messages: 16, schedule: "poisson", gap: 2, par: flood.Auto},
+			// The M sweep at n = 10^5: the lane population is the variable
+			// under test, so the node count steps down from the headline
+			// rows to keep the sweep's wall time in the same band as one
+			// n = 10^6 row while M grows 64-fold.
+			{kind: core.SDGR, n: 100000, d: 21, messages: 16, schedule: "burst", gap: 1, par: flood.Auto},
+			{kind: core.SDGR, n: 100000, d: 21, messages: 64, schedule: "burst", gap: 1, par: flood.Auto},
+			{kind: core.SDGR, n: 100000, d: 21, messages: 256, schedule: "burst", gap: 1, par: flood.Auto},
+			{kind: core.SDGR, n: 100000, d: 21, messages: 1024, schedule: "burst", gap: 1, par: flood.Auto},
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "benchjson: unknown -scale %q (want smoke or large)\n", scale)
@@ -1271,6 +1313,10 @@ func runTrafficCase(c trafficCase, seed uint64, reps int) trafficResult {
 		}
 
 		runtime.GC()
+		var ms0 runtime.MemStats
+		if rep == 0 {
+			runtime.ReadMemStats(&ms0)
+		}
 		t0 = time.Now()
 		plane := flood.NewTraffic(m, opts)
 		recs := make([]trafficInjectionRecord, 0, len(steps))
@@ -1292,14 +1338,27 @@ func runTrafficCase(c trafficCase, seed uint64, reps int) trafficResult {
 			}
 		}
 		planeSteps := plane.Steps()
+		mem := plane.MemStats()
 		plane.Close()
 		trafficNs := int64(time.Since(t0))
 		if rep == 0 || trafficNs < tr.TrafficNs {
 			tr.TrafficNs = trafficNs
 		}
 		if rep == 0 {
+			var ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms1)
+			tr.TrafficAllocBytes = ms1.TotalAlloc - ms0.TotalAlloc
 			tr.Steps = planeSteps
 			first = recs
+			tr.Lanes = mem.Lanes
+			tr.WordsPerSlot = mem.WordsPerSlot
+			if mem.Lanes > 0 {
+				tr.InformedBytesPerLane = float64(mem.PackedInformedBytes) / float64(mem.Lanes)
+				tr.InformedBytesPerLaneBaseline = float64(mem.MarksBaselineBytes) / float64(mem.Lanes)
+				if tr.InformedBytesPerLane > 0 {
+					tr.InformedReductionX = tr.InformedBytesPerLaneBaseline / tr.InformedBytesPerLane
+				}
+			}
 		}
 	}
 
@@ -1314,11 +1373,29 @@ func runTrafficCase(c trafficCase, seed uint64, reps int) trafficResult {
 	}
 	tr.DeliveredPerSec = float64(tr.Delivered) / (float64(tr.TrafficNs) / 1e9)
 
-	// The oracle audit: every message of the first repetition replayed as
-	// an independent single-message run on an identically seeded model.
+	// The oracle audit: messages of the first repetition replayed as
+	// independent single-message runs on identically seeded models — all of
+	// them up to trafficOracleSampleCap, an evenly spaced sample (first and
+	// last admissions always included) above it.
+	audit := make([]int, 0, trafficOracleSampleCap)
+	if len(first) <= trafficOracleSampleCap {
+		for i := range first {
+			audit = append(audit, i)
+		}
+	} else {
+		prev := -1
+		for k := 0; k < trafficOracleSampleCap; k++ {
+			i := k * (len(first) - 1) / (trafficOracleSampleCap - 1)
+			if i != prev {
+				audit = append(audit, i)
+				prev = i
+			}
+		}
+	}
 	t0 := time.Now()
 	tr.OracleEqual = true
-	for i, rec := range first {
+	for _, i := range audit {
+		rec := first[i]
 		m := core.SampleStationaryPar(c.kind, c.n, c.d, rng.New(seed), tr.Par)
 		for s := 0; s < rec.step; s++ {
 			m.AdvanceRound()
@@ -1326,11 +1403,12 @@ func runTrafficCase(c trafficCase, seed uint64, reps int) trafficResult {
 		want := flood.Run(m, flood.Options{Source: rec.src, Parallelism: tr.Par})
 		if !reflect.DeepEqual(rec.res, want) {
 			tr.OracleEqual = false
-			fmt.Fprintf(os.Stderr, "benchjson: ERROR: traffic message %d diverged from its single-flood replay for %s n=%d %s\n",
-				i, c.kind, c.n, c.schedule)
+			fmt.Fprintf(os.Stderr, "benchjson: ERROR: traffic message %d diverged from its single-flood replay for %s n=%d %s M=%d\n",
+				i, c.kind, c.n, c.schedule, c.messages)
 			os.Exit(1)
 		}
 	}
+	tr.OracleAudited = len(audit)
 	tr.OracleNs = int64(time.Since(t0))
 	return tr
 }

@@ -136,9 +136,21 @@ func assertTrafficEquality(t *testing.T, o *trafficOutput, tag string) {
 			t.Errorf("%s: %s n=%d %s gap=%d: oracle_equal is false",
 				tag, c.Model, c.N, c.Schedule, c.Gap)
 		}
+		if c.OracleAudited < 1 {
+			t.Errorf("%s: %s n=%d %s M=%d: oracle audited no messages",
+				tag, c.Model, c.N, c.Schedule, c.Messages)
+		}
 		if c.Delivered > 0 && c.DeliveredPerSec <= 0 {
 			t.Errorf("%s: %s n=%d %s: delivered %d but delivered_per_sec %v",
 				tag, c.Model, c.N, c.Schedule, c.Delivered, c.DeliveredPerSec)
+		}
+		// The ISSUE 8 acceptance number: on burst rows the whole message
+		// population floods at once, and from one full word of lanes up the
+		// packed layout must undercut the Marks-per-lane baseline by >= 4x
+		// (it lands near 38x at M = 64 and 87x at M = 1024).
+		if c.Schedule == "burst" && c.Messages >= 64 && c.InformedReductionX < 4 {
+			t.Errorf("%s: %s n=%d M=%d: informed_reduction_x = %.1f, want >= 4",
+				tag, c.Model, c.N, c.Messages, c.InformedReductionX)
 		}
 	}
 }

@@ -121,6 +121,7 @@ func runTraffic(kind churnnet.ModelKind, n, d, trials int, seed uint64, maxRound
 
 	completed := 0
 	var latencies []float64
+	var mem churnnet.TrafficMemStats
 	for trial := 0; trial < trials; trial++ {
 		trialSeed := seed + uint64(trial)
 		steps, err := churnnet.TrafficSchedule(schedule, messages, injectGap, trialSeed)
@@ -151,7 +152,17 @@ func runTraffic(kind churnnet.ModelKind, n, d, trials int, seed uint64, maxRound
 				}
 			}
 		}
+		if trial == trials-1 {
+			mem = tr.MemStats()
+		}
 		tr.Close()
+	}
+
+	if mem.Lanes > 0 {
+		packed := float64(mem.PackedInformedBytes) / float64(mem.Lanes)
+		baseline := float64(mem.MarksBaselineBytes) / float64(mem.Lanes)
+		fmt.Printf("\ninformed state   %d slots × %d word/slot packed: %.1f B/lane vs %.1f B/lane as one Marks per lane (%.1fx)\n",
+			mem.Slots, mem.WordsPerSlot, packed, baseline, baseline/packed)
 	}
 
 	total := trials * messages

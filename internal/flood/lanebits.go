@@ -1,0 +1,199 @@
+package flood
+
+import (
+	"math/bits"
+
+	"github.com/dyngraph/churnnet/internal/graph"
+)
+
+// laneBits is the traffic plane's packed per-slot lane-membership bitset:
+// one bit per (arena slot, lane) pair, 64 lanes per word, laid out
+// slot-major so the words of one slot are contiguous. It replaces the
+// one-graph.Marks-per-lane layout — ~12 bytes per slot per lane — with
+// ⌈laneCap/64⌉ words per slot shared by every lane, which is what makes
+// the plane's event classification and fan-out word-parallel: a churn
+// event XORs or masks whole 64-lane words instead of looping over M
+// lanes.
+//
+// Validity follows graph.Marks' epoch/generation discipline, applied per
+// slot: a slot's words count only while the stored epoch is current and
+// the stored generation matches the handle's. The generation is shared
+// across all lanes deliberately — a slot's current generation is a
+// property of the node occupying it, not of any message, so every lane
+// observing the slot agrees on it, and one uint32 per slot replaces the
+// per-lane gen array that Marks would cost per message. Non-current
+// state is inert: reads treat it as all-zero and the first write
+// reclaims the slot by zeroing its words (the same contract
+// graph.Marks.Unmark keeps for stale handles).
+//
+// The zero value is not ready; call init(stride) first (the plane does,
+// with stride 1, and reshapes as lanes cross 64-lane word boundaries).
+type laneBits struct {
+	words  []uint64 // len = slots * stride, slot-major lane-membership bits
+	epoch  []uint64 // per slot: epoch the words were last claimed for
+	gen    []uint32 // per slot: node generation the words belong to (shared by all lanes)
+	cur    uint64   // current epoch - 1, exactly like graph.Marks
+	stride int      // words per slot = ceil(laneCap/64), >= 1
+}
+
+// init prepares the zero value with the given word stride.
+func (b *laneBits) init(stride int) {
+	if stride < 1 {
+		stride = 1
+	}
+	b.stride = stride
+}
+
+// reset invalidates every slot in O(1) by bumping the epoch.
+func (b *laneBits) reset() { b.cur++ }
+
+// slots returns the number of arena slots currently spanned.
+func (b *laneBits) slots() int { return len(b.epoch) }
+
+// grow extends the per-slot arrays to span at least n slots. New slots
+// start invalid (epoch 0). Amortized doubling, like graph.Marks.
+func (b *laneBits) grow(n int) {
+	if n <= len(b.epoch) {
+		return
+	}
+	ne := make([]uint64, n*2)
+	copy(ne, b.epoch)
+	b.epoch = ne
+	ng := make([]uint32, n*2)
+	copy(ng, b.gen)
+	b.gen = ng
+	nw := make([]uint64, n*2*b.stride)
+	copy(nw, b.words)
+	b.words = nw
+}
+
+// reshape changes the word stride, preserving every slot's bits (a
+// shrink truncates high-lane words; the plane only ever grows). Serial
+// context only: it reallocates the word array.
+func (b *laneBits) reshape(stride int) {
+	if stride < 1 {
+		stride = 1
+	}
+	if stride == b.stride {
+		return
+	}
+	nSlots := len(b.epoch)
+	nw := make([]uint64, nSlots*stride)
+	min := b.stride
+	if stride < min {
+		min = stride
+	}
+	for s := 0; s < nSlots; s++ {
+		copy(nw[s*stride:s*stride+min], b.words[s*b.stride:s*b.stride+min])
+	}
+	b.words = nw
+	b.stride = stride
+}
+
+// wordsOf returns h's slot words when they are current (epoch and
+// generation both match), or nil: a nil result reads as all-zero, the
+// packed analogue of Marks.Has returning false. Callers must not write
+// through the returned slice unless they own h's slot (shard discipline).
+func (b *laneBits) wordsOf(h graph.Handle) []uint64 {
+	s := int(h.Slot)
+	if h.IsNil() || s >= len(b.epoch) {
+		return nil
+	}
+	if b.epoch[s] != b.cur+1 || b.gen[s] != h.Gen {
+		return nil
+	}
+	return b.words[s*b.stride : (s+1)*b.stride]
+}
+
+// claim validates h's slot for writing, zeroing stale words and stamping
+// the current epoch and h's generation, and returns the slot's words
+// plus whether the slot held no current bits before the claim (a fresh
+// claim, or a current slot whose words were all zero). That second
+// result is what receiver-list dedup keys on: a slot enters its owner
+// shard's receiver list exactly when it transitions from untracked to
+// tracked.
+func (b *laneBits) claim(h graph.Handle) (w []uint64, slotWasEmpty bool) {
+	b.grow(int(h.Slot) + 1)
+	s := int(h.Slot)
+	w = b.words[s*b.stride : (s+1)*b.stride]
+	if b.epoch[s] != b.cur+1 || b.gen[s] != h.Gen {
+		for i := range w {
+			w[i] = 0
+		}
+		b.epoch[s] = b.cur + 1
+		b.gen[s] = h.Gen
+		return w, true
+	}
+	for _, x := range w {
+		if x != 0 {
+			return w, false
+		}
+	}
+	return w, true
+}
+
+// set adds lane li to h's slot and reports whether the slot held no
+// current bits before (see claim).
+func (b *laneBits) set(h graph.Handle, li int) (slotWasEmpty bool) {
+	w, empty := b.claim(h)
+	w[li>>6] |= 1 << (li & 63)
+	return empty
+}
+
+// has reports whether lane li currently holds h.
+func (b *laneBits) has(h graph.Handle, li int) bool {
+	w := b.wordsOf(h)
+	return w != nil && w[li>>6]&(1<<(li&63)) != 0
+}
+
+// clear removes lane li from h's slot; a no-op when the slot is not
+// current (stale state stays inert, the Unmark contract).
+func (b *laneBits) clear(h graph.Handle, li int) {
+	if w := b.wordsOf(h); w != nil {
+		w[li>>6] &^= 1 << (li & 63)
+	}
+}
+
+// clearSlot invalidates h's slot for every lane at once — the packed
+// analogue of each lane's Marks dropping the node, used on death.
+func (b *laneBits) clearSlot(h graph.Handle) {
+	if s := int(h.Slot); !h.IsNil() && s < len(b.epoch) &&
+		b.epoch[s] == b.cur+1 && b.gen[s] == h.Gen {
+		b.epoch[s] = 0
+	}
+}
+
+// clearLane zeroes lane li's bit column across every slot. The plane
+// calls it when a retired lane index is re-granted to a new message:
+// stale bits of the previous occupant are masked out of every read while
+// the lane is free (liveMask), but a reused lane must start from an
+// all-zero column, exactly as a fresh Marks would. O(slots).
+func (b *laneBits) clearLane(li int) {
+	wi, mask := li>>6, uint64(1)<<(li&63)
+	for s, n := 0, len(b.epoch); s < n; s++ {
+		b.words[s*b.stride+wi] &^= mask
+	}
+}
+
+// onesOf returns the number of current bits on h's slot — a popcount
+// over the slot's words, optionally masked.
+func (b *laneBits) onesOf(h graph.Handle, mask []uint64) int {
+	w := b.wordsOf(h)
+	if w == nil {
+		return 0
+	}
+	n := 0
+	for i, x := range w {
+		if mask != nil {
+			x &= mask[i]
+		}
+		n += bits.OnesCount64(x)
+	}
+	return n
+}
+
+// footprintBytes returns the structure's informed-state footprint: the
+// packed lane-membership words plus the shared per-slot epoch/gen.
+func (b *laneBits) footprintBytes() int {
+	return len(b.words)*8 + len(b.epoch)*8 + len(b.gen)*4
+}

@@ -2,6 +2,7 @@ package flood
 
 import (
 	"fmt"
+	"math/bits"
 	"sync/atomic"
 
 	"github.com/dyngraph/churnnet/internal/core"
@@ -15,31 +16,47 @@ import (
 // hook chain, instead of M sequential single-message runs each paying its
 // own model and advancement.
 //
-// Every message occupies a *lane* — an independent copy of the single
-// engine's per-message state (informed marks, pending frontier, per-slot
-// sender lists, the O(1) informedAlive completion counter) — while the
-// per-round quantities that are functions of the graph alone (the
-// pre-round population, the birth-sequence horizon) are maintained once
-// and shared by every lane. One Step advances the model by one
-// transmission unit and executes one flooding round for every in-flight
-// message:
+// Every message occupies a *lane* — an index into the plane's packed
+// per-slot state plus a small private record (its slot-indexed sender
+// lists, the O(1) informedAlive completion counter, its Result). Unlike
+// the single engine, the per-slot membership state is not one
+// graph.Marks per lane: the plane owns two packed bitsets (laneBits)
+// holding, per arena slot, one bit per lane — 64 lanes per word — for
+// "lane considers this node informed" and "lane tracks this node as a
+// receiver", under one *shared* per-slot epoch/generation (a slot's
+// generation is a property of the node occupying it, not of any
+// message). That layout costs ⌈M/64⌉ words per slot instead of ~12
+// bytes per slot per lane, and it makes every cross-lane operation
+// word-parallel:
 //
-//   - the combined frontier drain: the nodes that crossed any lane's cut
-//     since the last Step are deduplicated across lanes, each distinct
-//     node's neighborhood is scanned exactly once, and every discovered
-//     cut edge fans out to the lanes that queued the node (filtered per
-//     lane by its own informed marks);
-//   - one model advance, with OnDeath/OnEdge dispatched across the
-//     in-flight lanes from a single chained hook installation
-//     (core.ChainHooks keeps any earlier observer — a caller's hooks, an
-//     expansion.Tracker — on the stream);
-//   - per-lane freeze/admission exactly as in the single engine.
+//   - noteEdge classifies a churn edge against all M cuts at once: the
+//     XOR of the endpoints' informed words, masked by the in-flight
+//     lanes, is exactly the lanes for which the edge straddles the cut,
+//     and the fan-out iterates only its set bits;
+//   - noteDeath decrements the informed counters of exactly the lanes
+//     whose bit is set on the dead slot, one masked word at a time, and
+//     drops the slot's receiver tracking for all lanes with one epoch
+//     store;
+//   - the frontier drain dedups scan nodes across lanes at crossing
+//     time (scanLanes is a packed lane bitmask per pending node), scans
+//     each distinct node's neighborhood exactly once, and fans each
+//     discovered cut edge out over set bits only;
+//   - freeze/compaction and admission batch across lanes *inside* each
+//     shard sweep: every shard keeps one receiver list shared by all
+//     lanes (a node tracked by k lanes appears once), so per-receiver
+//     work — the liveness check, the neighborhood bookkeeping — is paid
+//     once, with the per-lane candidate lists visited by bit iteration.
 //
-// Under Options.Parallelism-style sharding (TrafficOptions.Parallelism)
-// the three O(cut) passes batch *across messages* inside the same
-// per-slot-range worker sweep the single engine uses: worker w owns arena
-// slots (s/shardBlock) mod par == w for every lane at once, so one
-// barrier per pass covers all M messages instead of M barriers.
+// One Step advances the model by one transmission unit and executes one
+// flooding round for every in-flight message; per-round quantities that
+// are functions of the graph alone (the pre-round population, the
+// birth-sequence horizon) are maintained once and shared by every lane.
+//
+// Under TrafficOptions.Parallelism the O(cut) passes batch across
+// messages inside the same per-slot-range worker sweep the single engine
+// uses: worker w owns arena slots (s/shardBlock) mod par == w for every
+// lane at once, so one barrier per pass covers all M messages instead of
+// M barriers.
 //
 // # Determinism and the differential oracle
 //
@@ -50,32 +67,35 @@ import (
 // message, from M independent single-message runs replaying the same
 // churn stream (flooding consumes no randomness, so the streams align).
 // This is pinned by TestTrafficMatchesSingleMessageOracle across models,
-// injection schedules, worker counts and seeds, with a corrupted-engine
-// negative control proving the harness has teeth.
+// injection schedules, worker counts, seeds and M straddling the 64-lane
+// word boundary, with a corrupted-engine negative control proving the
+// harness has teeth.
 //
 // Internal orders differ from the single engine's — a lane's receiver
-// insertion order follows the combined scan order, not the lane's own
-// frontier order — but no Result bit depends on them: admission is an
-// existence test over a receiver's frozen senders and every Result field
-// is a count over admitted sets, the same argument that makes the single
-// engine's Results invariant across worker counts. The admission order of
+// insertion order follows the combined scan order, and admissions apply
+// in (shard, receiver, ascending lane) order rather than lane-major —
+// but no Result bit depends on them: admission is an existence test over
+// a receiver's frozen senders and every Result field is a count over
+// admitted sets, the same argument that makes the single engine's
+// Results invariant across worker counts. The admission order of
 // messages injected in the same Step is likewise unobservable: lanes
 // never read each other's state, so permuting same-round Inject calls
 // permutes MessageIDs and nothing else (TestTrafficInjectionOrderInvariance).
 //
 // # Admission and retirement
 //
-// Inject admits a message (its lane allocates per-slot state lazily, and
-// the source's one-off neighborhood scan is deferred to the next Step's
-// freeze, exactly like the single engine). A message leaves the in-flight
-// set on its own terms — completion (unless RunToMax), die-out, or its
-// MaxRounds cap — after which its lane is dormant but still allocated;
-// Retire releases the lane's per-slot state for reuse by later
-// injections, keeping engine memory O(live messages) · O(slots) plus a
-// constant-size record per message ever injected (the Result survives
-// retirement). A reused lane starts from freshly allocated state, so late
-// injections behave bit-for-bit like a fresh engine
-// (TestTrafficRetireReleasesAndReuses).
+// Inject admits a message; its lane index claims a bit column in the
+// packed bitsets and the source's one-off neighborhood scan is deferred
+// to the next Step's freeze, exactly like the single engine. A message
+// leaves the in-flight set on its own terms — completion (unless
+// RunToMax), die-out, or its MaxRounds cap — after which its lane is
+// dormant (masked out of every event by the in-flight lane mask) but
+// still allocated; Retire releases the lane's sender lists for reuse by
+// later injections, keeping engine memory O(live messages) · O(slots)
+// plus a constant-size record per message ever injected (the Result
+// survives retirement). A reused lane index starts from an all-zero bit
+// column and freshly allocated sender lists, so late injections behave
+// bit-for-bit like a fresh engine (TestTrafficRetireReleasesAndReuses).
 //
 // The plane owns the model between NewTraffic and Close: callers must not
 // advance the model themselves, and observer lifetimes must nest (Close
@@ -97,20 +117,32 @@ type Traffic struct {
 	freeLanes []int     // retired lane slots available for reuse
 	inFlight  []int     // lane indices of in-flight messages, admission order
 
+	// Packed lane-membership state, one bit per (slot, lane), 64 lanes
+	// per word. stride = ceil(len(lanes)/64) words per slot; liveMask
+	// holds the in-flight lane indices (stride words) and masks every
+	// event read, so bits of dormant or retired lanes are inert.
+	stride   int
+	liveMask []uint64
+	informed laneBits // lanes that consider the slot's node informed
+	tracked  laneBits // lanes tracking the slot's node as a receiver
+
 	// Shared per-round state: functions of the graph and the round alone,
 	// identical for every lane (see engine.preRoundAlive).
 	preRoundAlive int
 	roundStartSeq uint64
 
-	// Combined frontier-drain staging. scanNodes holds the distinct nodes
-	// to scan this drain; scanLanes[k] the in-flight lane indices that
-	// queued scanNodes[k]; nodeIdx maps an arena slot to its scanNodes
-	// index during a drain (-1 outside one). Every frontier handle is
-	// alive at drain time (no event intervenes between a crossing and the
-	// next freeze), so a slot identifies at most one node per drain.
+	// Pending frontier, deduplicated across lanes at crossing time:
+	// scanNodes holds the distinct nodes to scan at the next freeze,
+	// scanLanes[k*stride:(k+1)*stride] the packed lanes that queued
+	// scanNodes[k], and nodeIdx maps an arena slot to its scanNodes
+	// index (-1 when absent). Every pending handle is alive until the
+	// next freeze (no event intervenes between a crossing and it), so a
+	// slot identifies at most one pending node.
 	scanNodes []graph.Handle
-	scanLanes [][]int32
+	scanLanes []uint64
 	nodeIdx   []int32
+
+	shards []trafficShard
 
 	// stage holds the parallel drain's routing buffers, exactly like the
 	// single engine's: chunk c stages the cut edges it discovers for
@@ -123,7 +155,6 @@ type Traffic struct {
 	// before it is recorded for lane li (false = drop). Test-only: the
 	// corrupted-engine negative control drops one cross-message frontier
 	// event and asserts the differential oracle catches the divergence.
-	// Called from shard-owned merge context; serial unless par > 1.
 	onStage func(li int, recv, sender graph.Handle) bool
 }
 
@@ -189,40 +220,53 @@ type message struct {
 	res     Result // final copy, written when the message finishes
 }
 
-// lane is one message's private flooding state — the single engine's
-// per-message fields, owned by exactly one in-flight message.
+// lane is one message's private flooding state: everything that is not
+// packed into the plane's shared bitsets. The informed/receiver
+// membership itself lives in Traffic.informed/Traffic.tracked under this
+// lane's bit index.
 type lane struct {
 	id  MessageID
 	src graph.Handle
 
 	round int // per-message rounds executed (relative to injection)
 
-	informed graph.Marks
-	frontier []graph.Handle
-
-	// Per-slot cut state, partitioned by shard ownership exactly like the
-	// single engine's: only the owner shard touches senders[s]/recvGen[s]
-	// during a parallel phase.
+	// senders[s] lists the informed senders toward the node in arena
+	// slot s; the list is meaningful only while this lane's bit is set
+	// on s in Traffic.tracked (it is reset when the bit transitions
+	// 0 -> 1). Partitioned by shard ownership exactly like the single
+	// engine's: only s's owner shard touches senders[s] during a
+	// parallel phase.
 	senders [][]graph.Handle
-	recvGen []uint32
-
-	shards []laneShard
 
 	informedAlive int
 	res           Result
 }
 
-// laneShard owns one shard's receiver-side bookkeeping for one lane.
-type laneShard struct {
+// trafficShard owns one shard's receiver-side bookkeeping, shared by
+// every lane: a node tracked as a receiver by k lanes appears once.
+type trafficShard struct {
+	// receivers lists tracked (possibly stale or duplicate) receiver
+	// handles owned by this shard; compacted at every freeze.
 	receivers []graph.Handle
-	frozenLen []int
-	nFrozen   int
-	admitted  []graph.Handle
+	seen      graph.Marks // compact-time duplicate-entry dedup scratch
+
+	// The frozen cut of the running round, flat in receiver order:
+	// frozenRecv[i] carries candidates for the lanes set in
+	// frozenWords[i*stride:(i+1)*stride], and frozenLen lists — in
+	// (receiver, ascending lane) order — each frozen sender-list length.
+	frozenRecv  []graph.Handle
+	frozenWords []uint64
+	frozenLen   []int32
+
+	// Admission-sweep output, applied at the serial merge: admRecv[j]
+	// was admitted by the lanes set in admWords[j*stride:(j+1)*stride].
+	admRecv  []graph.Handle
+	admWords []uint64
 }
 
 // laneCutEdge stages one discovered candidate edge for its receiver's
 // owner shard; scan indexes the drain's scanNodes/scanLanes (the sender
-// and the lanes the edge fans out to).
+// and the packed lanes the edge fans out to).
 type laneCutEdge struct {
 	recv graph.Handle
 	scan int32
@@ -247,7 +291,12 @@ func NewTraffic(m core.Model, opts TrafficOptions) *Traffic {
 		opts:      opts,
 		par:       resolveParallelism(opts.Parallelism, m.N()),
 		maxRounds: maxRounds,
+		stride:    1,
+		liveMask:  make([]uint64, 1),
 	}
+	t.informed.init(1)
+	t.tracked.init(1)
+	t.shards = make([]trafficShard, t.par)
 	t.scratch = make([]graph.Marks, t.par)
 	t.prevHooks = m.Hooks()
 	m.SetHooks(core.ChainHooks(core.Hooks{OnDeath: t.noteDeath, OnEdge: t.noteEdge}, t.prevHooks))
@@ -256,7 +305,7 @@ func NewTraffic(m core.Model, opts TrafficOptions) *Traffic {
 
 // Close detaches the plane from the model's hook chain, restoring the
 // hooks saved at NewTraffic. In-flight messages stop flooding; every
-// finished message's Result stays queryable. Closing twice is a no-op.
+// message's Status and Result stay queryable. Closing twice is a no-op.
 func (t *Traffic) Close() {
 	if t.closed {
 		return
@@ -288,13 +337,23 @@ func (t *Traffic) Inject(src graph.Handle) MessageID {
 	if n := len(t.freeLanes); n > 0 {
 		li = t.freeLanes[n-1]
 		t.freeLanes = t.freeLanes[:n-1]
+		// A reused lane index must start from an all-zero bit column:
+		// while the lane was free its stale bits were masked out of every
+		// read by liveMask, but re-granting the index makes them live.
+		t.informed.clearLane(li)
+		t.tracked.clearLane(li)
+		t.clearScanLane(li)
 	} else {
 		li = len(t.lanes)
 		t.lanes = append(t.lanes, nil)
+		if need := (len(t.lanes) + 63) / 64; need > t.stride {
+			t.reshape(need)
+		}
 	}
-	// A reused lane slot gets freshly allocated state: retirement released
-	// the old arrays, so late injections are bit-for-bit a fresh engine.
-	ln := &lane{id: id, src: src, shards: make([]laneShard, t.par)}
+	// A reused lane slot gets freshly allocated sender lists: retirement
+	// released the old arrays, so late injections are bit-for-bit a
+	// fresh engine.
+	ln := &lane{id: id, src: src}
 	t.lanes[li] = ln
 
 	ln.res = Result{
@@ -314,7 +373,8 @@ func (t *Traffic) Inject(src graph.Handle) MessageID {
 		ln.res.Alive = append(ln.res.Alive, alive0)
 	}
 	ln.informedAlive = 1
-	t.cross(ln, src)
+	t.setLive(li)
+	t.cross(li, src)
 
 	t.inFlight = append(t.inFlight, li)
 	t.msgs = append(t.msgs, message{laneIdx: li, status: MessageInFlight, step: t.steps})
@@ -330,14 +390,27 @@ func (t *Traffic) Live() int { return len(t.inFlight) }
 // Injected returns the number of messages ever admitted.
 func (t *Traffic) Injected() int { return len(t.msgs) }
 
-// Status reports where id is in its lifecycle.
-func (t *Traffic) Status(id MessageID) MessageStatus { return t.msgs[id].status }
+// msg resolves id, panicking with a diagnosable message on an id this
+// plane never issued — Status, Result and Retire share the check, so a
+// caller's stale or foreign MessageID fails loudly instead of as a raw
+// index-out-of-range deep in slice code.
+func (t *Traffic) msg(id MessageID) *message {
+	if id < 0 || int(id) >= len(t.msgs) {
+		panic(fmt.Sprintf("flood: unknown MessageID %d (plane has admitted %d messages)", id, len(t.msgs)))
+	}
+	return &t.msgs[id]
+}
+
+// Status reports where id is in its lifecycle. It panics on a MessageID
+// the plane never issued; it remains valid on a closed plane.
+func (t *Traffic) Status(id MessageID) MessageStatus { return t.msg(id).status }
 
 // Result returns id's flooding outcome: the final Result once the message
 // is done or retired, or a snapshot of the in-progress one (fields cover
-// the rounds executed so far).
+// the rounds executed so far). It panics on a MessageID the plane never
+// issued; it remains valid on a closed plane.
 func (t *Traffic) Result(id MessageID) Result {
-	msg := &t.msgs[id]
+	msg := t.msg(id)
 	if msg.status == MessageInFlight {
 		res := t.lanes[msg.laneIdx].res
 		// Detach the trajectories: the lane keeps appending to its own.
@@ -348,13 +421,17 @@ func (t *Traffic) Result(id MessageID) Result {
 	return msg.res
 }
 
-// Retire releases a done message's lane — the per-slot sender lists,
-// informed marks and receiver bookkeeping — for reuse by later
-// injections; the Result remains queryable. It panics unless the message
-// is MessageDone: in-flight messages run to their own finish, and
-// retiring twice is a bug.
+// Retire releases a done message's lane — its sender lists and its bit
+// column in the packed membership state — for reuse by later injections;
+// the Result remains queryable. It panics on a MessageID the plane never
+// issued, on a closed plane, and unless the message is MessageDone:
+// in-flight messages run to their own finish, and retiring twice is a
+// bug.
 func (t *Traffic) Retire(id MessageID) {
-	msg := &t.msgs[id]
+	if t.closed {
+		panic("flood: Retire on a closed Traffic plane")
+	}
+	msg := t.msg(id)
 	if msg.status != MessageDone {
 		panic("flood: Retire of a message that is " + msg.status.String())
 	}
@@ -382,31 +459,36 @@ func (t *Traffic) Step() {
 
 	t.m.AdvanceRound()
 
-	// Admission over each lane's frozen candidates; shards sweep all
-	// lanes inside one fan-out, crossings apply at the serial merge in
-	// (lane admission order, shard order).
-	t.forEachShard(func(w int) {
-		for _, li := range t.inFlight {
-			t.lanes[li].admitFrozen(t, w)
-		}
-	})
+	// Admission over the frozen candidates; every shard sweeps its own
+	// frozen receivers across all lanes at once, crossings apply at the
+	// serial merge in (shard, receiver, ascending lane) order.
+	t.forEachShard(func(w int) { t.admitShard(w) })
 	alive := g.NumAlive()
+	for w := range t.shards {
+		sh := &t.shards[w]
+		for j, v := range sh.admRecv {
+			aw := sh.admWords[j*t.stride : (j+1)*t.stride]
+			for i, m := range aw {
+				for ; m != 0; m &= m - 1 {
+					li := i<<6 | bits.TrailingZeros64(m)
+					ln := t.lanes[li]
+					ln.res.EverInformed++
+					ln.informedAlive++
+					t.cross(li, v)
+				}
+			}
+		}
+	}
 	keep := t.inFlight[:0]
 	for _, li := range t.inFlight {
 		ln := t.lanes[li]
-		for s := range ln.shards {
-			for _, v := range ln.shards[s].admitted {
-				ln.res.EverInformed++
-				ln.informedAlive++
-				t.cross(ln, v)
-			}
-		}
 		if t.roundAccounting(ln, alive) {
 			keep = append(keep, li)
 		} else {
 			msg := &t.msgs[ln.id]
 			msg.status = MessageDone
 			msg.res = ln.res
+			t.clearLive(li)
 		}
 	}
 	t.inFlight = keep
@@ -453,7 +535,7 @@ func (t *Traffic) roundAccounting(ln *lane, alive int) bool {
 	return ln.round < t.maxRounds
 }
 
-// --- cut bookkeeping (per lane) ---
+// --- packed lane plumbing ---
 
 // owner maps an arena slot to its shard index — the single engine's
 // block-cyclic assignment, shared by every lane.
@@ -469,12 +551,29 @@ func (t *Traffic) forEachShard(fn func(w int)) {
 	forEachWorker(t.par, fn)
 }
 
-// cross moves v to ln's informed side: it stops being a receiver for this
-// lane and its neighborhood scan is queued for the next freeze.
-func (t *Traffic) cross(ln *lane, v graph.Handle) {
-	ln.informed.Mark(v)
-	ln.untrack(v)
-	ln.frontier = append(ln.frontier, v)
+func (t *Traffic) setLive(li int)   { t.liveMask[li>>6] |= 1 << (li & 63) }
+func (t *Traffic) clearLive(li int) { t.liveMask[li>>6] &^= 1 << (li & 63) }
+
+// reshape widens the packed state to a new words-per-slot stride when
+// the allocated lane count crosses a 64-lane word boundary. Serial
+// context only (Inject); frozen/admission words are ephemeral within one
+// Step and need no migration, the pending scan masks do.
+func (t *Traffic) reshape(stride int) {
+	t.informed.reshape(stride)
+	t.tracked.reshape(stride)
+	lm := make([]uint64, stride)
+	copy(lm, t.liveMask)
+	t.liveMask = lm
+	if n := len(t.scanNodes); n > 0 {
+		ns := make([]uint64, n*stride)
+		for k := 0; k < n; k++ {
+			copy(ns[k*stride:], t.scanLanes[k*t.stride:(k+1)*t.stride])
+		}
+		t.scanLanes = ns
+	} else {
+		t.scanLanes = t.scanLanes[:0]
+	}
+	t.stride = stride
 }
 
 func (ln *lane) growTo(n int) {
@@ -484,94 +583,42 @@ func (ln *lane) growTo(n int) {
 	ns := make([][]graph.Handle, n*2)
 	copy(ns, ln.senders)
 	ln.senders = ns
-	ng := make([]uint32, n*2)
-	copy(ng, ln.recvGen)
-	ln.recvGen = ng
-}
-
-// untrack clears h's receiver tracking in this lane if the list is still
-// h's.
-func (ln *lane) untrack(h graph.Handle) {
-	if int(h.Slot) < len(ln.recvGen) && ln.recvGen[h.Slot] == h.Gen {
-		ln.senders[h.Slot] = ln.senders[h.Slot][:0]
-		ln.recvGen[h.Slot] = 0
-	}
 }
 
 // appendSender records s as an informed sender toward the uninformed
-// receiver x in lane ln. Serial-context path: it may grow the lane's slot
-// arrays (hooks fire during AdvanceRound, after births).
-func (t *Traffic) appendSender(ln *lane, x, s graph.Handle) {
+// receiver x in lane li: it sets the lane's tracking bit on x's slot
+// (resetting the lane's sender list on a 0 -> 1 transition) and enters x
+// into its owner shard's shared receiver list when the slot was tracked
+// by no lane at all. Callable from the serial hook context (it may grow
+// the slot-indexed arrays) and from x's owner shard during a parallel
+// merge (the arrays are pre-grown there, making growth a no-op).
+func (t *Traffic) appendSender(li int, x, s graph.Handle) {
+	ln := t.lanes[li]
 	ln.growTo(int(x.Slot) + 1)
-	t.appendSenderShard(ln, &ln.shards[t.owner(x.Slot)], x, s)
-}
-
-// appendSenderShard is appendSender for the shard that owns x's slot; the
-// lane's arrays must already span it in parallel phases.
-func (t *Traffic) appendSenderShard(ln *lane, sh *laneShard, x, s graph.Handle) {
-	if ln.recvGen[x.Slot] != x.Gen {
+	w, slotWasEmpty := t.tracked.claim(x)
+	wi, mask := li>>6, uint64(1)<<(li&63)
+	if w[wi]&mask == 0 {
+		w[wi] |= mask
 		ln.senders[x.Slot] = ln.senders[x.Slot][:0]
-		ln.recvGen[x.Slot] = x.Gen
+	}
+	if slotWasEmpty {
+		sh := &t.shards[t.owner(x.Slot)]
 		sh.receivers = append(sh.receivers, x)
 	}
 	ln.senders[x.Slot] = append(ln.senders[x.Slot], s)
 }
 
-// noteDeath maintains the shared pre-round counter and every in-flight
-// lane's informed counter and receiver tracking.
-func (t *Traffic) noteDeath(h graph.Handle) {
-	if t.g.BirthSeq(h) < t.roundStartSeq {
-		t.preRoundAlive--
-	}
-	for _, li := range t.inFlight {
-		ln := t.lanes[li]
-		if ln.informed.Has(h) {
-			ln.informedAlive--
-		}
-		ln.untrack(h)
-	}
+// cross moves v to lane li's informed side: its receiver tracking for
+// this lane stops and its neighborhood scan is queued for the next
+// freeze (deduplicated across lanes at this call). Serial context only.
+func (t *Traffic) cross(li int, v graph.Handle) {
+	t.informed.set(v, li)
+	t.tracked.clear(v, li)
+	t.scanAdd(li, v)
 }
 
-// noteEdge classifies a fresh request edge against every in-flight lane's
-// cut; a single event can be a candidate for some messages and internal
-// or irrelevant for others.
-func (t *Traffic) noteEdge(u, v graph.Handle) {
-	for _, li := range t.inFlight {
-		ln := t.lanes[li]
-		ui, vi := ln.informed.Has(u), ln.informed.Has(v)
-		if ui == vi {
-			continue
-		}
-		x, s := u, v
-		if ui {
-			x, s = v, u
-		}
-		if t.onStage != nil && !t.onStage(li, x, s) {
-			continue
-		}
-		t.appendSender(ln, x, s)
-	}
-}
-
-// --- the batched freeze ---
-
-// freeze drains the combined frontier and compacts every in-flight lane's
-// receivers into the live cut of the current snapshot, one worker sweep
-// across all messages.
-func (t *Traffic) freeze() {
-	if len(t.inFlight) == 0 {
-		return
-	}
-	t.drainFrontiers()
-	t.forEachShard(func(w int) {
-		for _, li := range t.inFlight {
-			t.lanes[li].compact(t, w)
-		}
-	})
-}
-
-// growNodeIdx spans the slot → scan-index map, keeping new entries at the
-// -1 sentinel.
+// growNodeIdx spans the slot -> scan-index map, keeping new entries at
+// the -1 sentinel.
 func (t *Traffic) growNodeIdx(n int) {
 	if n <= len(t.nodeIdx) {
 		return
@@ -584,84 +631,198 @@ func (t *Traffic) growNodeIdx(n int) {
 	t.nodeIdx = grown
 }
 
-// collectScan gathers the distinct frontier nodes across all in-flight
-// lanes into scanNodes, with scanLanes[k] listing the lanes that queued
-// node k. Frontier handles are all alive (no event intervenes between a
-// crossing and the next freeze), so arena slots identify nodes uniquely
-// within one drain.
-func (t *Traffic) collectScan() {
-	t.scanNodes = t.scanNodes[:0]
-	for _, li := range t.inFlight {
-		ln := t.lanes[li]
-		for _, v := range ln.frontier {
-			t.growNodeIdx(int(v.Slot) + 1)
-			k := t.nodeIdx[v.Slot]
-			if k < 0 {
-				k = int32(len(t.scanNodes))
-				t.nodeIdx[v.Slot] = k
-				t.scanNodes = append(t.scanNodes, v)
-				if int(k) < len(t.scanLanes) {
-					t.scanLanes[k] = t.scanLanes[k][:0]
-				} else {
-					t.scanLanes = append(t.scanLanes, nil)
-				}
-			}
-			t.scanLanes[k] = append(t.scanLanes[k], int32(li))
+// scanAdd queues v's neighborhood scan for lane li at the next freeze.
+// Distinct nodes are deduplicated here, at crossing time: a node queued
+// by k lanes holds one scanNodes entry with k bits in its packed lane
+// mask. Pending handles stay alive until the next freeze (no churn event
+// intervenes), so the slot -> entry map cannot go stale.
+func (t *Traffic) scanAdd(li int, v graph.Handle) {
+	t.growNodeIdx(int(v.Slot) + 1)
+	k := t.nodeIdx[v.Slot]
+	if k < 0 {
+		k = int32(len(t.scanNodes))
+		t.nodeIdx[v.Slot] = k
+		t.scanNodes = append(t.scanNodes, v)
+		for i := 0; i < t.stride; i++ {
+			t.scanLanes = append(t.scanLanes, 0)
 		}
-		ln.frontier = ln.frontier[:0]
 	}
+	t.scanLanes[int(k)*t.stride+li>>6] |= 1 << (li & 63)
+}
+
+// clearScans drops every pending scan entry, resetting the slot map.
+// Called after a drain, and on a Step with no in-flight lanes — pending
+// entries must never survive an AdvanceRound, or the slot map could go
+// stale under churn.
+func (t *Traffic) clearScans() {
 	for _, v := range t.scanNodes {
 		t.nodeIdx[v.Slot] = -1
 	}
+	t.scanNodes = t.scanNodes[:0]
+	t.scanLanes = t.scanLanes[:0]
+}
+
+// clearScanLane clears lane li's bit from every pending scan mask (lane
+// index reuse; see Inject).
+func (t *Traffic) clearScanLane(li int) {
+	wi, mask := li>>6, uint64(1)<<(li&63)
+	for k := range t.scanNodes {
+		t.scanLanes[k*t.stride+wi] &^= mask
+	}
+}
+
+// noteDeath maintains the shared pre-round counter, decrements the
+// informed counter of exactly the in-flight lanes whose bit is set on
+// the dead slot, and drops the slot's receiver tracking for all lanes
+// with one epoch store.
+func (t *Traffic) noteDeath(h graph.Handle) {
+	if t.g.BirthSeq(h) < t.roundStartSeq {
+		t.preRoundAlive--
+	}
+	if len(t.inFlight) == 0 {
+		return
+	}
+	if iw := t.informed.wordsOf(h); iw != nil {
+		for i, w := range iw {
+			w &= t.liveMask[i]
+			for ; w != 0; w &= w - 1 {
+				t.lanes[i<<6|bits.TrailingZeros64(w)].informedAlive--
+			}
+		}
+	}
+	t.tracked.clearSlot(h)
+}
+
+// noteEdge classifies a fresh request edge against every in-flight
+// lane's cut at once: the XOR of the endpoints' informed words, masked
+// by the in-flight lanes, is exactly the lanes for which the edge has
+// one informed endpoint — a single event can be a candidate for some
+// messages and internal or irrelevant for others, and the fan-out
+// iterates only the set bits.
+func (t *Traffic) noteEdge(u, v graph.Handle) {
+	if len(t.inFlight) == 0 {
+		return
+	}
+	uw := t.informed.wordsOf(u)
+	vw := t.informed.wordsOf(v)
+	if uw == nil && vw == nil {
+		return // no lane informs either endpoint: internal to no cut
+	}
+	for i := 0; i < t.stride; i++ {
+		var uwi, vwi uint64
+		if uw != nil {
+			uwi = uw[i]
+		}
+		if vw != nil {
+			vwi = vw[i]
+		}
+		cand := (uwi ^ vwi) & t.liveMask[i]
+		for ; cand != 0; cand &= cand - 1 {
+			bit := cand & -cand
+			li := i<<6 | bits.TrailingZeros64(cand)
+			x, s := u, v
+			if uwi&bit != 0 {
+				x, s = v, u
+			}
+			if t.onStage != nil && !t.onStage(li, x, s) {
+				continue
+			}
+			t.appendSender(li, x, s)
+		}
+	}
+}
+
+// --- the batched freeze ---
+
+// freeze drains the combined pending frontier and compacts the shared
+// receiver lists into the live cut of the current snapshot, one worker
+// sweep across all messages per pass.
+func (t *Traffic) freeze() {
+	if len(t.inFlight) == 0 {
+		// Pending scans of lanes that finished last round must not
+		// survive the upcoming advance (see clearScans).
+		t.clearScans()
+		return
+	}
+	t.drainFrontiers()
+	t.forEachShard(func(w int) { t.compactShard(w) })
 }
 
 // drainFrontiers performs the one-off neighborhood scans of every node
-// that crossed any lane's cut since the last freeze. Each distinct node is
-// scanned exactly once — deduplicating the work M separate engines would
-// repeat, and confining graph.Neighbors' in-list compaction side effect to
-// a single scanner — and each discovered cut edge fans out to the lanes
-// that queued the node, filtered by their own informed marks. The
-// per-scan scratch dedups the multigraph neighborhood once; filtering per
-// lane after the shared dedup appends exactly the pairs the single
-// engine's informed-check-then-mark would.
+// that crossed any lane's cut since the last freeze. Each distinct node
+// is scanned exactly once — deduplicating the work M separate engines
+// would repeat, and confining graph.Neighbors' in-list compaction side
+// effect to a single scanner — and each discovered cut edge fans out
+// over the set bits of the node's pending lane mask, minus the lanes
+// already considering the neighbor informed. The per-scan scratch dedups
+// the multigraph neighborhood once; filtering per lane after the shared
+// dedup appends exactly the pairs the single engine's
+// informed-check-then-mark would.
 func (t *Traffic) drainFrontiers() {
-	t.collectScan()
 	if len(t.scanNodes) == 0 {
 		return
 	}
 	if t.par == 1 {
 		scratch := &t.scratch[0]
 		for k, v := range t.scanNodes {
+			if !t.scanLive(k) {
+				continue // queued only by lanes that since finished
+			}
 			scratch.Reset()
 			t.g.Neighbors(v, func(x graph.Handle) bool {
 				if scratch.Mark(x) {
-					t.fanOut(int32(k), x, v)
+					t.fanOut(k, x, v)
 				}
 				return true
 			})
 		}
-		return
+	} else {
+		t.drainFrontiersSharded()
 	}
-	t.drainFrontiersSharded()
+	t.clearScans()
 }
 
-// fanOut records the discovered cut edge (v → x) for every lane that
-// queued scan node k and does not already consider x informed. Owner-shard
-// context: the caller guarantees x's slot belongs to the running shard
-// (or the engine is serial).
-func (t *Traffic) fanOut(k int32, x, v graph.Handle) {
-	for _, li := range t.scanLanes[k] {
-		ln := t.lanes[li]
-		if ln.informed.Has(x) {
-			continue
+// scanLive reports whether any in-flight lane queued scan entry k.
+func (t *Traffic) scanLive(k int) bool {
+	lw := t.scanLanes[k*t.stride : (k+1)*t.stride]
+	for i, w := range lw {
+		if w&t.liveMask[i] != 0 {
+			return true
 		}
-		if t.onStage != nil && !t.onStage(int(li), x, v) {
-			continue
+	}
+	return false
+}
+
+// fanOut records the discovered cut edge (v -> x) for every in-flight
+// lane that queued scan entry k and does not already consider x
+// informed — one masked word operation per 64 lanes, iterating set bits
+// only. Owner-shard context: the caller guarantees x's slot belongs to
+// the running shard (or the engine is serial).
+func (t *Traffic) fanOut(k int, x, v graph.Handle) {
+	lw := t.scanLanes[k*t.stride : (k+1)*t.stride]
+	iw := t.informed.wordsOf(x)
+	for i, w := range lw {
+		w &= t.liveMask[i]
+		if iw != nil {
+			w &^= iw[i]
 		}
-		// Growth only happens on the serial path: parallel drains pre-grow
-		// every in-flight lane to the arena size, making this a no-op there.
-		ln.growTo(int(x.Slot) + 1)
-		t.appendSenderShard(ln, &ln.shards[t.owner(x.Slot)], x, v)
+		for ; w != 0; w &= w - 1 {
+			li := i<<6 | bits.TrailingZeros64(w)
+			if t.onStage != nil && !t.onStage(li, x, v) {
+				continue
+			}
+			t.appendSender(li, x, v)
+		}
+	}
+}
+
+// growPlane spans every slot-indexed structure a parallel phase touches:
+// fan-out inside a shard sweep must never reallocate shared arrays.
+func (t *Traffic) growPlane(nSlots int) {
+	t.informed.grow(nSlots)
+	t.tracked.grow(nSlots)
+	for _, li := range t.inFlight {
+		t.lanes[li].growTo(nSlots)
 	}
 }
 
@@ -670,12 +831,7 @@ func (t *Traffic) fanOut(k int32, x, v graph.Handle) {
 // owner shard, then every shard drains its buffers in chunk order — the
 // single engine's two-barrier pattern, batched across lanes.
 func (t *Traffic) drainFrontiersSharded() {
-	// Parallel phases must not reallocate slot arrays: span every
-	// in-flight lane's arrays up front.
-	nSlots := t.g.NumSlots()
-	for _, li := range t.inFlight {
-		t.lanes[li].growTo(nSlots)
-	}
+	t.growPlane(t.g.NumSlots())
 	nScan := len(t.scanNodes)
 	nChunks := nScan
 	if max := t.par * scanChunksPerWorker; nChunks > max {
@@ -687,9 +843,9 @@ func (t *Traffic) drainFrontiersSharded() {
 		t.stage = grown
 	}
 
-	// Scan: lane-independent — informed marks are read-only here, so the
-	// staged edges carry only the receiver and the scan index; the
-	// per-lane filter runs at the owner-shard merge.
+	// Scan: lane-independent — the packed masks and informed words are
+	// read-only here, so the staged edges carry only the receiver and
+	// the scan index; the per-lane filter runs at the owner-shard merge.
 	t.chunkNext.Store(0)
 	t.forEachShard(func(w int) {
 		scratch := &t.scratch[w]
@@ -700,6 +856,9 @@ func (t *Traffic) drainFrontiersSharded() {
 			}
 			buf := t.stage[c*t.par : (c+1)*t.par]
 			for k := c * nScan / nChunks; k < (c+1)*nScan/nChunks; k++ {
+				if !t.scanLive(k) {
+					continue
+				}
 				v := t.scanNodes[k]
 				scratch.Reset()
 				t.g.Neighbors(v, func(x graph.Handle) bool {
@@ -714,88 +873,192 @@ func (t *Traffic) drainFrontiersSharded() {
 	})
 
 	// Merge: each shard drains the buffers addressed to it in chunk
-	// order, fanning each edge out across its lanes.
+	// order, fanning each edge out across its packed lane mask.
 	t.forEachShard(func(w int) {
 		for c := 0; c < nChunks; c++ {
 			buf := t.stage[c*t.par+w]
 			for _, ce := range buf {
-				t.fanOut(ce.scan, ce.recv, t.scanNodes[ce.scan])
+				t.fanOut(int(ce.scan), ce.recv, t.scanNodes[ce.scan])
 			}
 			t.stage[c*t.par+w] = buf[:0]
 		}
 	})
 }
 
-// compact is the freeze pass over one shard's receivers of one lane —
-// the single engine's engineShard.compact against lane-owned arrays.
-func (ln *lane) compact(t *Traffic, w int) {
-	sh := &ln.shards[w]
+// compactShard is the freeze pass over one shard's shared receivers,
+// batched across every lane: each distinct receiver is visited once —
+// its liveness checked once, duplicate entries dropped via the seen
+// scratch — and its per-lane candidate lists compacted by iterating only
+// the set bits of its masked tracking word. It records the frozen cut
+// flat in (receiver, ascending lane) order for the admission sweep.
+func (t *Traffic) compactShard(w int) {
+	sh := &t.shards[w]
 	g := t.g
-	n := 0
+	sh.seen.Reset()
+	sh.frozenRecv = sh.frozenRecv[:0]
+	sh.frozenWords = sh.frozenWords[:0]
 	sh.frozenLen = sh.frozenLen[:0]
+	n := 0
 	for _, v := range sh.receivers {
-		if !g.IsAlive(v) || ln.informed.Has(v) {
-			ln.untrack(v)
-			continue
+		if !sh.seen.Mark(v) {
+			continue // duplicate entry (re-tracked within one window)
 		}
-		lst := ln.senders[v.Slot]
-		k := 0
-		for _, s := range lst {
-			if g.IsAlive(s) {
-				lst[k] = s
-				k++
+		tw := t.tracked.wordsOf(v)
+		if tw == nil || !g.IsAlive(v) {
+			continue // tracking invalidated (death, slot reuse) or stale entry
+		}
+		iw := t.informed.wordsOf(v)
+		wordBase := len(sh.frozenWords)
+		any := false
+		for i := 0; i < t.stride; i++ {
+			// Live lanes still tracking v as uninformed; dormant lanes'
+			// and crossed-over lanes' bits drop here.
+			cand := tw[i] & t.liveMask[i]
+			if iw != nil {
+				cand &^= iw[i]
 			}
+			var frozen uint64
+			for m := cand; m != 0; m &= m - 1 {
+				bit := m & -m
+				li := i<<6 | bits.TrailingZeros64(m)
+				ln := t.lanes[li]
+				lst := ln.senders[v.Slot]
+				k := 0
+				for _, s := range lst {
+					if g.IsAlive(s) {
+						lst[k] = s
+						k++
+					}
+				}
+				ln.senders[v.Slot] = lst[:k]
+				if k == 0 {
+					cand &^= bit // every sender died: lane stops tracking v
+					continue
+				}
+				frozen |= bit
+				sh.frozenLen = append(sh.frozenLen, int32(k))
+				any = true
+			}
+			tw[i] = cand
+			sh.frozenWords = append(sh.frozenWords, frozen)
 		}
-		ln.senders[v.Slot] = lst[:k]
-		if k == 0 {
-			ln.recvGen[v.Slot] = 0
-			continue
+		if !any {
+			sh.frozenWords = sh.frozenWords[:wordBase]
+			continue // no lane holds live candidates: entry dropped
 		}
+		sh.frozenRecv = append(sh.frozenRecv, v)
 		sh.receivers[n] = v
-		sh.frozenLen = append(sh.frozenLen, k)
 		n++
 	}
 	sh.receivers = sh.receivers[:n]
-	sh.nFrozen = n
 }
 
-// admitFrozen runs the admission test over one shard's frozen receivers
-// of one lane — the single engine's pass with lane-owned state.
-func (ln *lane) admitFrozen(t *Traffic, w int) {
-	sh := &ln.shards[w]
+// admitShard runs the admission test over one shard's frozen receivers,
+// batched across lanes: per receiver the liveness check is paid once,
+// and each frozen lane's test — some frozen sender qualifies (any under
+// Asynchronous semantics, a still-alive one under Discretized) — reads
+// exactly the freeze-time prefix of the lane's sender list, so edges
+// created during the advance are excluded. Output is staged per shard
+// and applied at the serial merge.
+func (t *Traffic) admitShard(w int) {
+	sh := &t.shards[w]
 	g := t.g
-	sh.admitted = sh.admitted[:0]
-	for i := 0; i < sh.nFrozen; i++ {
-		v := sh.receivers[i]
-		if !g.IsAlive(v) || ln.informed.Has(v) {
+	async := t.opts.Mode == Asynchronous
+	sh.admRecv = sh.admRecv[:0]
+	sh.admWords = sh.admWords[:0]
+	cur := 0
+	for fi, v := range sh.frozenRecv {
+		fw := sh.frozenWords[fi*t.stride : (fi+1)*t.stride]
+		if !g.IsAlive(v) {
+			// Died during the advance: skip, consuming the receiver's
+			// frozen lengths (one per set bit, counted by popcount).
+			for _, x := range fw {
+				cur += bits.OnesCount64(x)
+			}
 			continue
 		}
-		admit := false
-		for _, s := range ln.senders[v.Slot][:sh.frozenLen[i]] {
-			if t.opts.Mode == Asynchronous || g.IsAlive(s) {
-				admit = true
-				break
+		iw := t.informed.wordsOf(v)
+		wordBase := len(sh.admWords)
+		any := false
+		for i, m := range fw {
+			var admitted uint64
+			for ; m != 0; m &= m - 1 {
+				bit := m & -m
+				li := i<<6 | bits.TrailingZeros64(m)
+				flen := int(sh.frozenLen[cur])
+				cur++
+				if iw != nil && iw[i]&bit != 0 {
+					continue // already informed (defensive; mirrors the single engine)
+				}
+				for _, s := range t.lanes[li].senders[v.Slot][:flen] {
+					if async || g.IsAlive(s) {
+						admitted |= bit
+						any = true
+						break
+					}
+				}
 			}
+			sh.admWords = append(sh.admWords, admitted)
 		}
-		if admit {
-			sh.admitted = append(sh.admitted, v)
+		if !any {
+			sh.admWords = sh.admWords[:wordBase]
+			continue
 		}
+		sh.admRecv = append(sh.admRecv, v)
 	}
 }
 
 // laneFootprint reports the allocated lane count and the summed per-slot
-// state length across allocated lanes — the quantities the retirement
-// property test tracks to pin memory at O(live messages), not O(all ever
-// injected).
+// sender-list headers across allocated lanes — the quantities the
+// retirement property test tracks to pin memory at O(live messages), not
+// O(all ever injected).
 func (t *Traffic) laneFootprint() (lanes, slotState int) {
 	for _, ln := range t.lanes {
 		if ln == nil {
 			continue
 		}
 		lanes++
-		slotState += len(ln.senders) + len(ln.recvGen)
+		slotState += len(ln.senders)
 	}
 	return lanes, slotState
+}
+
+// TrafficMemStats describes a plane's packed informed-state layout; see
+// MemStats.
+type TrafficMemStats struct {
+	// Slots is the arena-slot span of the packed state (grown
+	// amortized-doubling, exactly as graph.Marks grows).
+	Slots int
+	// Lanes is the number of lane slots allocated — the peak simultaneous
+	// message count, the packed layout's capacity denominator.
+	Lanes int
+	// WordsPerSlot is ceil(Lanes/64): the packed words each arena slot
+	// carries.
+	WordsPerSlot int
+	// PackedInformedBytes is the plane-owned informed-state footprint:
+	// the lane-membership words plus the shared per-slot epoch and
+	// generation, for all lanes together.
+	PackedInformedBytes int
+	// MarksBaselineBytes is what the same membership state costs in the
+	// pre-packing layout of one graph.Marks per lane: 12 bytes (an
+	// 8-byte epoch plus a 4-byte generation) per slot per lane.
+	MarksBaselineBytes int
+}
+
+// MemStats reports the plane's informed-state memory layout — the
+// numbers behind the packed-bitset design: PackedInformedBytes/Lanes
+// versus MarksBaselineBytes/Lanes is the per-lane saving (≈ 96× at
+// M = 1024, since an epoch+gen pair per slot per lane collapses to one
+// bit plus a 1/M share of the shared per-slot epoch/gen).
+func (t *Traffic) MemStats() TrafficMemStats {
+	st := TrafficMemStats{
+		Slots:        t.informed.slots(),
+		Lanes:        len(t.lanes),
+		WordsPerSlot: t.stride,
+	}
+	st.PackedInformedBytes = t.informed.footprintBytes()
+	st.MarksBaselineBytes = st.Slots * 12 * st.Lanes
+	return st
 }
 
 // --- injection schedules ---

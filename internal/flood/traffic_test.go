@@ -1,8 +1,10 @@
 package flood
 
 import (
+	"fmt"
 	"reflect"
 	"sort"
+	"strings"
 	"testing"
 
 	"github.com/dyngraph/churnnet/internal/core"
@@ -240,7 +242,13 @@ func TestTrafficRetireReleasesAndReuses(t *testing.T) {
 		m := build()
 		tr := NewTraffic(m, opts)
 
-		const first = 4
+		// Seeds 3+ cross the 64-lane word seam: 65 lanes allocated, and
+		// the late injection reuses lane index 64 — a bit column in the
+		// second packed word.
+		first := 4
+		if seed >= 3 {
+			first = 65
+		}
 		var ids []MessageID
 		for i := 0; i < first; i++ {
 			ids = append(ids, tr.Inject(nthAlive(m.Graph(), i)))
@@ -450,4 +458,271 @@ func TestTrafficRequiresEdgeEvents(t *testing.T) {
 		}
 	}()
 	NewTraffic(noEdgeEvents{m}, TrafficOptions{})
+}
+
+// TestTrafficWordBoundaryOracle runs the differential oracle at message
+// counts straddling the packed bitset's 64-lane word seams — M ∈ {16,
+// 63, 64, 65, 128} — across all three schedules and every worker count.
+// M = 16 fits one word with headroom, 63/64/65 bracket the first seam
+// (65 is the first count whose top lane lives in a second word), and 128
+// fills two words exactly; any divergence at 65 or 128 that 16 misses is
+// a word-indexing bug in the XOR classification, the packed scan masks,
+// or the frozen-cut cursor.
+func TestTrafficWordBoundaryOracle(t *testing.T) {
+	for _, messages := range []int{16, 63, 64, 65, 128} {
+		messages := messages
+		t.Run(fmt.Sprintf("M=%d", messages), func(t *testing.T) {
+			t.Parallel()
+			seeds := 2
+			if messages >= 128 {
+				seeds = 1 // two full words; one seed keeps -race time sane
+			}
+			for _, schedule := range []string{"burst", "staggered", "poisson"} {
+				for seed := uint64(0); seed < uint64(seeds); seed++ {
+					mode := Discretized
+					if (seed+uint64(messages))%2 == 1 {
+						mode = Asynchronous
+					}
+					opts := TrafficOptions{Mode: mode, MaxRounds: 12, KeepTrajectory: true}
+					steps, err := TrafficSchedule(schedule, messages, 1, seed)
+					if err != nil {
+						t.Fatalf("%s seed %d: %v", schedule, seed, err)
+					}
+					build := func() core.Model {
+						m := core.New(core.SDGR, 140, 4, rng.New(seed))
+						core.WarmUp(m)
+						return m
+					}
+
+					got, inj := runTrafficPlane(build(), opts, steps)
+					want := make([]Result, len(inj))
+					for i, in := range inj {
+						want[i] = replaySingle(build(), opts, in)
+					}
+					for i := range inj {
+						if !reflect.DeepEqual(got[i], want[i]) {
+							t.Fatalf("%s seed %d: message %d/%d (step %d) diverged from its replay\nplane:  %+v\nsingle: %+v",
+								schedule, seed, i, messages, inj[i].step, got[i], want[i])
+						}
+					}
+					for _, par := range testPars() {
+						popts := opts
+						popts.Parallelism = par
+						pgot, pinj := runTrafficPlane(build(), popts, steps)
+						if !reflect.DeepEqual(pinj, inj) {
+							t.Fatalf("%s seed %d par %d: injection records diverged", schedule, seed, par)
+						}
+						if !reflect.DeepEqual(pgot, got) {
+							t.Fatalf("%s seed %d par %d: sharded plane diverged from serial plane",
+								schedule, seed, par)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTrafficNegativeControlWordSeam re-arms the corrupted-engine control
+// in the second bitset word: at M = 65 the dropped frontier event targets
+// lane 64, whose bit is the low bit of word 1. The oracle must still
+// catch the divergence, and the corruption must stay confined to lane 64
+// — in particular lane 63, its seam neighbor in word 0, must keep
+// matching the honest run.
+func TestTrafficNegativeControlWordSeam(t *testing.T) {
+	t.Parallel()
+	const messages = 65
+	opts := TrafficOptions{MaxRounds: 15, KeepTrajectory: true}
+	caught := 0
+	const seeds = 4
+	for seed := uint64(0); seed < seeds; seed++ {
+		build := func() core.Model {
+			m := core.New(core.SDGR, 140, 4, rng.New(seed))
+			core.WarmUp(m)
+			return m
+		}
+		steps := make([]int, messages) // burst
+		m := build()
+		honest, inj := runTrafficPlane(m, opts, steps)
+
+		mc := build()
+		tr := NewTraffic(mc, opts)
+		dropped := false
+		tr.onStage = func(li int, recv, sender graph.Handle) bool {
+			if li == 64 && !dropped {
+				dropped = true
+				return false
+			}
+			return true
+		}
+		var ids []MessageID
+		for i := 0; i < messages; i++ {
+			ids = append(ids, tr.Inject(nthAlive(mc.Graph(), i)))
+		}
+		for tr.Live() > 0 {
+			tr.Step()
+		}
+		corrupt := make([]Result, messages)
+		for i, id := range ids {
+			corrupt[i] = tr.Result(id)
+		}
+		tr.Close()
+
+		if !dropped {
+			t.Fatalf("seed %d: control never dropped a lane-64 event", seed)
+		}
+		for i := 0; i < messages; i++ {
+			if i == 64 {
+				continue
+			}
+			if !reflect.DeepEqual(corrupt[i], honest[i]) {
+				t.Fatalf("seed %d: corruption of lane 64 leaked into lane %d", seed, i)
+			}
+		}
+		want := replaySingle(build(), opts, inj[64])
+		if !reflect.DeepEqual(honest[64], want) {
+			t.Fatalf("seed %d: honest plane diverged from replay (harness broken)", seed)
+		}
+		if !reflect.DeepEqual(corrupt[64], want) {
+			caught++
+		}
+	}
+	if caught == 0 {
+		t.Fatalf("oracle caught 0/%d corrupted runs at the word seam", seeds)
+	}
+	t.Logf("oracle caught %d/%d corrupted runs", caught, seeds)
+}
+
+// TestTrafficInjectionOrderAcrossWordSeam extends the admission-order
+// invariance to a lane population spanning two packed words: with 66
+// same-step injections, permutations that move sources across the 64-lane
+// seam (reversal swaps words wholesale; the adjacent transposition swaps
+// bit 63 of word 0 with bit 0 of word 1) must leave every source's Result
+// unchanged.
+func TestTrafficInjectionOrderAcrossWordSeam(t *testing.T) {
+	t.Parallel()
+	const messages = 66
+	identity := make([]int, messages)
+	reversed := make([]int, messages)
+	seamSwap := make([]int, messages)
+	for i := 0; i < messages; i++ {
+		identity[i] = i
+		reversed[i] = messages - 1 - i
+		seamSwap[i] = i
+	}
+	seamSwap[63], seamSwap[64] = 64, 63
+	for seed := uint64(0); seed < 2; seed++ {
+		mode := Discretized
+		if seed%2 == 1 {
+			mode = Asynchronous
+		}
+		opts := TrafficOptions{Mode: mode, MaxRounds: 15, KeepTrajectory: true}
+		build := func() core.Model {
+			m := core.New(core.PDG, 140, 5, rng.New(seed))
+			core.WarmUp(m)
+			return m
+		}
+		run := func(order []int, par int) map[graph.Handle]Result {
+			m := build()
+			popts := opts
+			popts.Parallelism = par
+			tr := NewTraffic(m, popts)
+			defer tr.Close()
+			srcs := make([]graph.Handle, messages)
+			for i := range srcs {
+				srcs[i] = nthAlive(m.Graph(), i)
+			}
+			ids := map[graph.Handle]MessageID{}
+			for _, i := range order {
+				ids[srcs[i]] = tr.Inject(srcs[i])
+			}
+			for tr.Live() > 0 {
+				tr.Step()
+			}
+			out := map[graph.Handle]Result{}
+			for src, id := range ids {
+				out[src] = tr.Result(id)
+			}
+			return out
+		}
+		want := run(identity, 1)
+		for _, perm := range [][]int{reversed, seamSwap} {
+			for _, par := range []int{1, 4} {
+				got := run(perm, par)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed %d: seam-crossing admission order (par=%d) changed per-message Results",
+						seed, par)
+				}
+			}
+		}
+	}
+}
+
+// mustPanicContaining runs fn and asserts it panics with a message
+// containing want.
+func mustPanicContaining(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic (want one containing %q)", want)
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, want) {
+			t.Fatalf("panic %q does not contain %q", msg, want)
+		}
+	}()
+	fn()
+}
+
+// TestTrafficMessageIDValidation pins the query-path contract: a
+// MessageID the plane never issued panics with the documented flood:
+// message instead of a raw index-out-of-range; retired and done messages
+// stay queryable; and a closed plane keeps answering Status/Result while
+// rejecting Retire.
+func TestTrafficMessageIDValidation(t *testing.T) {
+	t.Parallel()
+	m := core.New(core.SDGR, 100, 4, rng.New(1))
+	core.WarmUp(m)
+	tr := NewTraffic(m, TrafficOptions{MaxRounds: 20})
+
+	// Unknown IDs before anything is injected.
+	mustPanicContaining(t, "flood: unknown MessageID", func() { tr.Status(0) })
+
+	id := tr.Inject(graph.Nil)
+	for _, bad := range []MessageID{-1, 1, 99} {
+		bad := bad
+		mustPanicContaining(t, "flood: unknown MessageID", func() { tr.Status(bad) })
+		mustPanicContaining(t, "flood: unknown MessageID", func() { tr.Result(bad) })
+		mustPanicContaining(t, "flood: unknown MessageID", func() { tr.Retire(bad) })
+	}
+
+	for tr.Live() > 0 {
+		tr.Step()
+	}
+	if tr.Status(id) != MessageDone {
+		t.Fatalf("message %d is %v after drain", id, tr.Status(id))
+	}
+	done := tr.Result(id)
+	tr.Retire(id)
+
+	// Retired: queries keep working, a second Retire is rejected.
+	if tr.Status(id) != MessageRetired {
+		t.Fatalf("Status after Retire = %v", tr.Status(id))
+	}
+	if got := tr.Result(id); !reflect.DeepEqual(got, done) {
+		t.Fatal("Result changed across Retire")
+	}
+	mustPanicContaining(t, "flood: Retire of a message that is retired", func() { tr.Retire(id) })
+
+	// Closed plane: Status/Result stay valid, mutations are rejected,
+	// and unknown IDs still get the documented panic.
+	id2 := tr.Inject(graph.Nil)
+	tr.Close()
+	if tr.Status(id2) != MessageInFlight {
+		t.Fatalf("Status on closed plane = %v", tr.Status(id2))
+	}
+	_ = tr.Result(id2)
+	mustPanicContaining(t, "flood: Retire on a closed Traffic plane", func() { tr.Retire(id2) })
+	mustPanicContaining(t, "flood: unknown MessageID", func() { tr.Status(42) })
+	mustPanicContaining(t, "flood: Inject on a closed Traffic plane", func() { tr.Inject(graph.Nil) })
 }

@@ -573,7 +573,48 @@ func TestMarksUnmark(t *testing.T) {
 	if m.Has(a) {
 		t.Fatal("Unmark failed")
 	}
+	if !m.Mark(a) {
+		t.Fatal("Mark after Unmark must report new")
+	}
 	m.Unmark(Handle{Slot: 999, Gen: 3}) // out of range: no panic
+	m.Unmark(Nil)                       // Nil: no panic
+}
+
+// TestMarksUnmarkEpochCurrency pins the epoch side of the Unmark contract:
+// only a current-epoch mark may be cleared. A handle whose slot carries a
+// mark from a previous epoch is non-current even when the generation
+// matches, and unmarking it must leave the stored epoch word untouched —
+// mutating stale state would break any structure reusing this epoch/gen
+// discipline (the traffic plane's packed lane bitsets do).
+func TestMarksUnmarkEpochCurrency(t *testing.T) {
+	g := New(1, 0)
+	a := g.AddNode(0)
+	var m Marks
+	m.Mark(a)
+	stored := m.epoch[a.Slot]
+	m.Reset() // a's mark is now stale: same gen, previous epoch
+	if m.Has(a) {
+		t.Fatal("Reset did not clear")
+	}
+	m.Unmark(a)
+	if got := m.epoch[a.Slot]; got != stored {
+		t.Fatalf("Unmark of a stale-epoch handle mutated the stored epoch: %d -> %d", stored, got)
+	}
+}
+
+// TestMarksUnmarkGenCurrency: a gen-mismatched handle (slot reused by a
+// later node) must not clear the current occupant's mark.
+func TestMarksUnmarkGenCurrency(t *testing.T) {
+	g := New(1, 0)
+	a := g.AddNode(0)
+	g.RemoveNode(a, nil)
+	b := g.AddNode(1) // same slot, new generation
+	var m Marks
+	m.Mark(b)
+	m.Unmark(a) // stale handle: must be a no-op
+	if !m.Has(b) {
+		t.Fatal("Unmark of a stale-generation handle cleared the current mark")
+	}
 }
 
 func TestMarksNil(t *testing.T) {

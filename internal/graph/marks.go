@@ -38,12 +38,14 @@ func (m *Marks) Has(h Handle) bool {
 	return m.epoch[h.Slot] == m.cur+1 && m.gen[h.Slot] == h.Gen
 }
 
-// Unmark removes h from the set.
+// Unmark removes h from the set. It is a no-op unless h is currently
+// marked — the slot's mark must belong to the current epoch AND h's
+// generation. Clearing on a generation match alone would mutate a stale
+// entry left behind by a previous epoch, and structures sharing this
+// epoch/gen discipline (the traffic plane's packed lane bitsets) rely on
+// non-current state being inert.
 func (m *Marks) Unmark(h Handle) {
-	if h.IsNil() || int(h.Slot) >= len(m.epoch) {
-		return
-	}
-	if m.gen[h.Slot] == h.Gen {
+	if m.Has(h) {
 		m.epoch[h.Slot] = 0
 	}
 }
