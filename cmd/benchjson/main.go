@@ -37,6 +37,16 @@
 //     closed-form stationary law, so the warm-up is simulated (minutes at
 //     n = 10⁶; use -reps 1).
 //
+//   - serve: the live control-plane daemon (internal/serve) under
+//     concurrent loopback-HTTP load — req/s and p50/p99 request latency
+//     for a mixed read/join/leave/step workload at n up to 10⁶, with
+//     queue-depth and snapshot-age (staleness actually served) columns —
+//     the BENCH_serve.json record. Every row ends with a consistency
+//     audit (serve.VerifySnapshot): a freshly published snapshot is
+//     compared field by field against a direct model query at the same
+//     version, and the run aborts on any divergence, so a throughput
+//     number can never hide a stale or torn read.
+//
 //   - traffic: the multi-message traffic plane (flood.Traffic) — M
 //     concurrent broadcasts injected per a burst/staggered/poisson schedule
 //     over one churn stream, messages retired as they deliver — the
@@ -70,6 +80,8 @@
 //	benchjson -bench expansion -scale large -reps 1 -out BENCH_expansion.json
 //	benchjson -bench traffic -out BENCH_traffic.json       # smoke scale (CI)
 //	benchjson -bench traffic -scale large -reps 1 -out BENCH_traffic.json
+//	benchjson -bench serve -out BENCH_serve.json           # smoke scale (CI)
+//	benchjson -bench serve -scale large -reps 1 -out BENCH_serve.json
 package main
 
 import (
@@ -148,7 +160,7 @@ type output struct {
 
 func main() {
 	var (
-		bench    = flag.String("bench", "flood", "flood (engine vs reference), warmup (WarmUp vs SampleStationary), floodpar (serial vs sharded engine + parallel snapshot wiring), edgerate (cut-event feed under bounded-degree policies), expansion (incremental tracker vs per-snapshot Estimate) or traffic (multi-message plane vs per-message single-flood oracle)")
+		bench    = flag.String("bench", "flood", "flood (engine vs reference), warmup (WarmUp vs SampleStationary), floodpar (serial vs sharded engine + parallel snapshot wiring), edgerate (cut-event feed under bounded-degree policies), expansion (incremental tracker vs per-snapshot Estimate), traffic (multi-message plane vs per-message single-flood oracle) or serve (control-plane daemon under concurrent HTTP load)")
 		out      = flag.String("out", "", "output path (- for stdout; default BENCH_<bench>.json)")
 		scale    = flag.String("scale", "smoke", "smoke (CI, seconds) or large (the committed 10k..10M record)")
 		seed     = flag.Uint64("seed", 1, "deterministic seed")
@@ -180,8 +192,10 @@ func main() {
 		runExpansionBench(*out, *scale, *seed, *reps)
 	case "traffic":
 		runTrafficBench(*out, *scale, *seed, *reps)
+	case "serve":
+		runServeBench(*out, *scale, *seed, *reps)
 	default:
-		fmt.Fprintf(os.Stderr, "benchjson: unknown -bench %q (want flood, warmup, floodpar, edgerate, expansion or traffic)\n", *bench)
+		fmt.Fprintf(os.Stderr, "benchjson: unknown -bench %q (want flood, warmup, floodpar, edgerate, expansion, traffic or serve)\n", *bench)
 		os.Exit(2)
 	}
 }

@@ -10,21 +10,16 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
-	"log"
 	"math"
 	"net"
+	"os"
 	"sort"
 	"sync"
 	"time"
 
 	churnnet "github.com/dyngraph/churnnet"
-)
-
-const (
-	numPeers = 400
-	degree   = 8
-	seed     = 21
 )
 
 // message is the wire format: a broadcast ID and its hop count so far.
@@ -127,6 +122,24 @@ func connect(a, b *peer, wg *sync.WaitGroup, done <-chan struct{}) {
 }
 
 func main() {
+	numPeers := flag.Int("peers", 400, "number of peers in the frozen topology snapshot")
+	degree := flag.Int("degree", 8, "out-degree d of the PDGR model")
+	seed := flag.Uint64("seed", 21, "model seed")
+	timeout := flag.Duration("timeout", 10*time.Second, "broadcast convergence deadline")
+	flag.Parse()
+	if *numPeers < 2 || *degree < 1 || *timeout <= 0 {
+		fmt.Fprintln(os.Stderr, "livenet: need -peers >= 2, -degree >= 1, -timeout > 0")
+		os.Exit(2)
+	}
+	if err := run(*numPeers, *degree, *seed, *timeout); err != nil {
+		fmt.Fprintf(os.Stderr, "livenet: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run builds the frozen snapshot, floods one broadcast over live pipes, and
+// errors if the broadcast misses any peer before the deadline.
+func run(numPeers, degree int, seed uint64, timeout time.Duration) error {
 	fmt.Printf("building PDGR topology snapshot (n=%d, d=%d)...\n", numPeers, degree)
 	m := churnnet.NewWarmModel(churnnet.PDGR, numPeers, degree, seed)
 	g := m.Graph()
@@ -177,19 +190,22 @@ func main() {
 
 	received := 0
 	var hops []int
-	timeout := time.After(10 * time.Second)
-	for received < len(peers) {
+	deadline := time.After(timeout)
+	timedOut := false
+	for received < len(peers) && !timedOut {
 		select {
 		case r := <-firstRx:
 			received++
 			hops = append(hops, r.hop)
-		case <-timeout:
-			log.Printf("timeout: %d/%d peers reached", received, len(peers))
-			received = len(peers) // bail out
+		case <-deadline:
+			timedOut = true
 		}
 	}
 	elapsed := time.Since(start)
 	close(done)
+	if timedOut {
+		return fmt.Errorf("timeout after %v: broadcast reached %d/%d peers", timeout, received, len(peers))
+	}
 
 	sort.Ints(hops)
 	fmt.Printf("\nbroadcast reached %d peers in %v\n", len(hops), elapsed.Round(time.Microsecond))
@@ -208,6 +224,7 @@ func main() {
 	fmt.Printf("simulated flooding on the same snapshot: complete in %d rounds\n", sim.CompletionRound)
 
 	wgWait(&wg, 2*time.Second)
+	return nil
 }
 
 // wgWait waits for the worker goroutines with a grace period (pipes close

@@ -60,6 +60,8 @@ func (k Kind) String() string {
 		return "STATIC"
 	case Overlay:
 		return "OVERLAY"
+	case Live:
+		return "LIVE"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}

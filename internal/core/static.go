@@ -10,6 +10,11 @@ const Static Kind = 5
 // overlay (the Bitcoin-style protocol of Section 1.1). Not part of Kinds().
 const Overlay Kind = 6
 
+// Live is the Kind reported by externally driven models: no autonomous
+// churn — every join, leave and crash is commanded by a caller (the
+// control-plane daemon of internal/serve). Not part of Kinds().
+const Live Kind = 7
+
 // StaticModel wraps a fixed graph as a Model with no churn: AdvanceRound
 // only advances the clock. It is the substrate for the paper's static
 // d-out baseline (Lemma B.1) and for unit-testing processes against known

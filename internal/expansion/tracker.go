@@ -275,6 +275,7 @@ type Tracker struct {
 	inSet graph.Marks // seeding scratch
 
 	observations, reseeds int
+	last                  Observation // most recent Observe result
 }
 
 // NewTracker attaches a tracker to m, seeds the witness families from the
@@ -327,6 +328,14 @@ func (t *Tracker) Reseeds() int { return t.reseeds }
 // NumSets returns the number of currently tracked sets.
 func (t *Tracker) NumSets() int { return len(t.sets) }
 
+// LastObservation returns the most recent Observe result without flushing
+// pending events (a pure read — serving layers republish it between
+// observation ticks). The second result is false before the first
+// Observe.
+func (t *Tracker) LastObservation() (Observation, bool) {
+	return t.last, t.observations > 0
+}
+
 // Observe flushes pending events and returns the current measurement;
 // on every cfg.ReseedEvery-th call it then re-derives the families from
 // the current snapshot (the returned observation still reflects the sets
@@ -346,6 +355,7 @@ func (t *Tracker) Observe() Observation {
 	}
 	min, mw := p.Min()
 	obs := Observation{Time: t.m.Now(), N: p.N, Min: min, MinWitness: mw, Profile: p}
+	t.last = obs
 	t.observations++
 	if t.cfg.ReseedEvery > 0 && t.observations%t.cfg.ReseedEvery == 0 {
 		t.reseed()

@@ -368,6 +368,30 @@ func TestTrackerConfigKnobs(t *testing.T) {
 	checkTrackerAgainstRescan(t, tiny.Graph(), tr2, "tiny")
 }
 
+// TestTrackerLastObservation: the pure-read accessor replays the latest
+// Observe result without flushing, and reports absence before the first.
+func TestTrackerLastObservation(t *testing.T) {
+	m := core.NewStreaming(300, 4, true, rng.New(3))
+	m.WarmUp()
+	tr := NewTracker(m, rng.New(4), TrackerConfig{})
+	defer tr.Close()
+	if _, ok := tr.LastObservation(); ok {
+		t.Fatal("LastObservation reported a value before the first Observe")
+	}
+	obs := tr.Observe()
+	got, ok := tr.LastObservation()
+	if !ok || got.Time != obs.Time || got.N != obs.N || got.Min != obs.Min {
+		t.Fatalf("LastObservation %+v != Observe %+v", got, obs)
+	}
+	// Advancing the model must not change the stored observation (pure
+	// read; no flush).
+	m.AdvanceRound()
+	got2, _ := tr.LastObservation()
+	if got2.Time != obs.Time || got2.N != obs.N || got2.Min != obs.Min {
+		t.Fatal("LastObservation mutated by model churn without Observe")
+	}
+}
+
 // BenchmarkTrackerWindowSDGR measures tracking a 20-round window against
 // BenchmarkEstimateSDGR's single-snapshot rescan (see expansion_test.go).
 func BenchmarkTrackerWindowSDGR(b *testing.B) {

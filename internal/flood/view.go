@@ -1,0 +1,117 @@
+package flood
+
+import (
+	"github.com/dyngraph/churnnet/internal/graph"
+)
+
+// Read-side accessors for serving layers (internal/serve): per-node and
+// per-message informed state queried between Steps, and a copyable view
+// of the packed informed bitsets so a publisher can answer probes from an
+// immutable snapshot without touching the plane again.
+
+// InformedAlive returns the number of currently-alive informed nodes of
+// message id: the live counter for an in-flight message, the final count
+// for a done or retired one. It panics on a MessageID the plane never
+// issued.
+func (t *Traffic) InformedAlive(id MessageID) int {
+	msg := t.msg(id)
+	if msg.status == MessageInFlight {
+		return t.lanes[msg.laneIdx].informedAlive
+	}
+	return msg.res.FinalInformed
+}
+
+// Informed reports whether h is an alive node currently informed of
+// message id. Meaningful for in-flight messages only: once a message is
+// done its per-node membership goes stale against further churn, so done
+// and retired messages report false for every node (their aggregate
+// outcome stays queryable through Result). It panics on a MessageID the
+// plane never issued. Call only between Steps (single-writer discipline).
+func (t *Traffic) Informed(id MessageID, h graph.Handle) bool {
+	msg := t.msg(id)
+	if msg.status != MessageInFlight {
+		return false
+	}
+	return t.g.IsAlive(h) && t.informed.has(h, msg.laneIdx)
+}
+
+// TrafficView is an immutable copy of a plane's packed informed state for
+// the messages in flight at capture time. A serving layer captures one
+// view per published snapshot version and answers node/message probes
+// from it without synchronizing with the plane again; the view stays
+// internally consistent (it describes exactly the capture instant) even
+// as the plane advances.
+type TrafficView struct {
+	stride int
+	words  []uint64 // slot-major informed bits, live lanes only
+	gens   []uint32 // per slot: generation the bits belong to (0 = none)
+	laneOf map[MessageID]int
+	ids    []MessageID // in-flight messages in admission order
+}
+
+// CaptureView copies the plane's informed state for every in-flight
+// message into a TrafficView, reusing reuse's storage when non-nil. Call
+// only between Steps, from the goroutine driving the plane.
+func (t *Traffic) CaptureView(reuse *TrafficView) *TrafficView {
+	v := reuse
+	if v == nil {
+		v = &TrafficView{}
+	}
+	slots := t.informed.slots()
+	v.stride = t.stride
+	if cap(v.words) < slots*t.stride {
+		v.words = make([]uint64, slots*t.stride)
+	}
+	v.words = v.words[:slots*t.stride]
+	if cap(v.gens) < slots {
+		v.gens = make([]uint32, slots)
+	}
+	v.gens = v.gens[:slots]
+
+	for s := 0; s < slots; s++ {
+		gen := t.informed.gen[s]
+		h := graph.Handle{Slot: uint32(s), Gen: gen}
+		w := t.informed.wordsOf(h)
+		dst := v.words[s*t.stride : (s+1)*t.stride]
+		if w == nil || !t.g.IsAlive(h) {
+			v.gens[s] = 0
+			for i := range dst {
+				dst[i] = 0
+			}
+			continue
+		}
+		v.gens[s] = gen
+		for i := range dst {
+			dst[i] = w[i] & t.liveMask[i]
+		}
+	}
+
+	v.laneOf = make(map[MessageID]int, len(t.inFlight))
+	v.ids = v.ids[:0]
+	for _, li := range t.inFlight {
+		id := t.lanes[li].id
+		v.laneOf[id] = li
+		v.ids = append(v.ids, id)
+	}
+	return v
+}
+
+// InFlight returns the captured in-flight MessageIDs in admission order.
+// The slice is owned by the view; callers must not mutate it.
+func (v *TrafficView) InFlight() []MessageID { return v.ids }
+
+// Informed reports whether h was an informed alive node for message id at
+// capture time. Unknown messages (done, retired, injected after the
+// capture, or never issued) report false, as do handles dead or unborn at
+// capture time.
+func (v *TrafficView) Informed(id MessageID, h graph.Handle) bool {
+	li, ok := v.laneOf[id]
+	if !ok || h.IsNil() {
+		return false
+	}
+	s := int(h.Slot)
+	if s >= len(v.gens) || v.gens[s] != h.Gen {
+		return false
+	}
+	return v.words[s*v.stride+li>>6]&(1<<(li&63)) != 0
+}

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/dyngraph/churnnet/internal/core"
+	"github.com/dyngraph/churnnet/internal/graph"
+	"github.com/dyngraph/churnnet/internal/graphio"
+)
+
+func TestLiveModelSeeding(t *testing.T) {
+	m := NewLiveModel(core.PDGR, 200, 3, 42, 0)
+	if m.Kind() != core.Live {
+		t.Fatalf("Kind() = %v, want Live", m.Kind())
+	}
+	if m.SeedKind() != core.PDGR {
+		t.Fatalf("SeedKind() = %v, want PDGR", m.SeedKind())
+	}
+	if m.N() != 200 || m.D() != 3 {
+		t.Fatalf("N,D = %d,%d, want 200,3", m.N(), m.D())
+	}
+	// The stationary snapshot's population fluctuates around n.
+	if got := m.Graph().NumAlive(); got < 100 || got > 400 {
+		t.Fatalf("seeded %d alive nodes, want around 200", got)
+	}
+	if m.LastBorn().IsNil() || !m.Graph().IsAlive(m.LastBorn()) {
+		t.Fatalf("LastBorn is not an alive node")
+	}
+	if err := m.Graph().CheckInvariants(); err != nil {
+		t.Fatalf("seeded graph invariants: %v", err)
+	}
+}
+
+func TestLiveModelEmptyStart(t *testing.T) {
+	m := NewLiveModel(core.SDGR, 0, 2, 1, 0)
+	if got := m.Graph().NumAlive(); got != 0 {
+		t.Fatalf("empty model has %d alive nodes", got)
+	}
+	// The first node of an empty network has nobody to request from.
+	h := m.Join()
+	if !m.Graph().IsAlive(h) {
+		t.Fatalf("first join not alive")
+	}
+	if got := m.Graph().OutSlotCount(h); got != 0 {
+		t.Fatalf("first node has %d out edges, want 0", got)
+	}
+	// The second node must request the first (its only peer), twice.
+	h2 := m.Join()
+	if got := m.Graph().OutSlotCount(h2); got != 2 {
+		t.Fatalf("second node has %d out edges, want d=2", got)
+	}
+	if err := m.Graph().CheckInvariants(); err != nil {
+		t.Fatalf("invariants after joins: %v", err)
+	}
+}
+
+// TestLiveModelHookLedger pins the edge-event contract: every placed or
+// re-pointed edge fires OnEdge, every departure fires OnDeath while the
+// node is still alive, joins fire OnBirth after their edges — and
+// crashes regenerate nothing.
+func TestLiveModelHookLedger(t *testing.T) {
+	m := NewLiveModel(core.SDG, 50, 3, 7, 0)
+	var births, deaths, edges int
+	var deathAlive bool
+	m.SetHooks(core.Hooks{
+		OnBirth: func(h graph.Handle) { births++ },
+		OnDeath: func(h graph.Handle) { deaths++; deathAlive = m.Graph().IsAlive(h) },
+		OnEdge:  func(u, v graph.Handle) { edges++ },
+	})
+
+	h := m.Join()
+	if births != 1 || edges != 3 {
+		t.Fatalf("after join: births=%d edges=%d, want 1 and 3", births, edges)
+	}
+
+	// A graceful leave fires OnDeath and one OnEdge per orphaned
+	// survivor request (the victim's in-degree).
+	victim := m.Graph().Oldest()
+	orphans := m.Graph().InDegreeLive(victim)
+	edges = 0
+	m.Leave(victim)
+	if deaths != 1 || !deathAlive {
+		t.Fatalf("leave: deaths=%d deathAlive=%v, want OnDeath fired pre-removal", deaths, deathAlive)
+	}
+	if edges != orphans {
+		t.Fatalf("leave regenerated %d edges, want in-degree %d", edges, orphans)
+	}
+
+	// A crash fires OnDeath but regenerates nothing.
+	edges = 0
+	m.Crash(h)
+	if deaths != 2 || edges != 0 {
+		t.Fatalf("crash: deaths=%d edges=%d, want 2 and 0", deaths, edges)
+	}
+	if err := m.Graph().CheckInvariants(); err != nil {
+		t.Fatalf("invariants after churn: %v", err)
+	}
+}
+
+// TestLiveModelDeterminism: the same seed and command sequence produce a
+// bit-identical network.
+func TestLiveModelDeterminism(t *testing.T) {
+	run := func() []byte {
+		m := NewLiveModel(core.PDG, 120, 3, 99, 0)
+		for i := 0; i < 10; i++ {
+			m.Join()
+		}
+		for i := 0; i < 5; i++ {
+			m.Leave(m.Graph().Oldest())
+			m.Crash(m.Graph().Newest())
+			m.AdvanceRound()
+		}
+		var buf bytes.Buffer
+		if err := graphio.WriteEdgeList(&buf, m.Graph()); err != nil {
+			t.Fatalf("WriteEdgeList: %v", err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same command sequence produced different networks (%d vs %d bytes)", len(a), len(b))
+	}
+}

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+)
+
+// ServeUDP answers the single-node probe fast path on conn until the
+// connection is closed. The protocol is one ASCII datagram per probe:
+//
+//	request:  "ping"                → "ok v=<version>"
+//	request:  "probe <id>"          → "ok alive=<0|1> v=<version>"
+//	request:  "probe <id> <msg>"    → "ok alive=<0|1> informed=<0|1> v=<version>"
+//	anything else / bad id / bad msg → "err <reason>"
+//
+// Probes are answered straight from the published snapshot — no command
+// queue, no allocation-heavy JSON — so they stay cheap under load and
+// report bounded-stale truth (the version tells the client how stale).
+// Unknown and departed nodes answer alive=0; only protocol misuse and
+// unknown messages are errors.
+//
+// Run it on its own goroutine: go srv.ServeUDP(conn). It returns the
+// first non-timeout read error (net.ErrClosed after Stop-side close).
+func (s *Server) ServeUDP(conn net.PacketConn) error {
+	buf := make([]byte, 512)
+	for {
+		n, addr, err := conn.ReadFrom(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		resp := s.answerProbe(strings.TrimSpace(string(buf[:n])))
+		_, _ = conn.WriteTo([]byte(resp), addr)
+	}
+}
+
+func (s *Server) answerProbe(req string) string {
+	snap := s.Current()
+	fields := strings.Fields(req)
+	if len(fields) == 0 {
+		return "err empty probe"
+	}
+	switch fields[0] {
+	case "ping":
+		return fmt.Sprintf("ok v=%d", snap.Version)
+	case "probe":
+		if len(fields) < 2 || len(fields) > 3 {
+			return "err want: probe <id> [msg]"
+		}
+		id, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return "err bad node id " + strconv.Quote(fields[1])
+		}
+		msg := -1
+		if len(fields) == 3 {
+			m, err := strconv.Atoi(fields[2])
+			if err != nil || m < 0 {
+				return "err bad message id " + strconv.Quote(fields[2])
+			}
+			msg = m
+		}
+		alive, informed, perr := snap.Probe(id, msg)
+		if perr != nil {
+			return "err " + perr.Msg
+		}
+		if msg < 0 {
+			return fmt.Sprintf("ok alive=%s v=%d", bit(alive), snap.Version)
+		}
+		return fmt.Sprintf("ok alive=%s informed=%s v=%d", bit(alive), bit(informed), snap.Version)
+	default:
+		return "err unknown probe verb " + strconv.Quote(fields[0])
+	}
+}
+
+func bit(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
